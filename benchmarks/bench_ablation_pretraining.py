@@ -1,0 +1,52 @@
+"""Extra ablation benchmark: pre-training vs training from scratch.
+
+The paper motivates the pre-training → fine-tuning schema (Sec. IV-C) but
+does not plot it separately; this bench compares fine-tuning with and without
+the contrastive pre-training stage under the same total epoch budget.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report_result
+from repro.eval.evaluator import Evaluator
+from repro.experiments.common import ExperimentResult, build_model, scenario_for
+from repro.training import TrainerConfig
+from repro.training.finetuner import train_garcia
+
+
+def test_pretraining_ablation(benchmark, bench_settings):
+    def run():
+        scenario = scenario_for("Sep. A", bench_settings)
+        evaluator = Evaluator()
+        result = ExperimentResult(
+            experiment_id="ablation_pretraining",
+            title="Ablation: contrastive pre-training vs fine-tuning from scratch",
+        )
+        for label, pretrain_epochs in (("no pre-training", 0), ("with pre-training", 2)):
+            model = build_model("GARCIA", scenario, bench_settings)
+            train_garcia(
+                model,
+                scenario.splits.train,
+                pretrain_config=TrainerConfig(
+                    num_epochs=pretrain_epochs,
+                    learning_rate=bench_settings.learning_rate,
+                    batch_size=bench_settings.batch_size,
+                    eval_every=0,
+                ),
+                finetune_config=bench_settings.trainer_config(),
+            )
+            report = evaluator.evaluate(model, scenario.splits.test, scenario.head_tail)
+            result.rows.append(
+                {
+                    "schedule": label,
+                    "pretrain_epochs": pretrain_epochs,
+                    "tail_auc": report.tail.auc,
+                    "overall_auc": report.overall.auc,
+                }
+            )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_result(result)
+    assert len(result.rows) == 2
+    assert all(np.isfinite(row["overall_auc"]) for row in result.rows)

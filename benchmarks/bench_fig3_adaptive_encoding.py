@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 3 (adaptive encoding ablation).
+
+Paper shape to reproduce: GARCIA (dual head/tail encoders) is at least
+comparable to GARCIA-Share everywhere and better on most windows.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig3_adaptive_encoding
+
+
+def test_fig3_adaptive_encoding_ablation(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: fig3_adaptive_encoding.run(bench_settings), rounds=1, iterations=1
+    )
+    report_result(result)
+    assert len(result.rows) == 3 * 2  # three windows × two variants
+    assert all(np.isfinite(row["overall_auc"]) for row in result.rows)

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 4 (multi-granularity contrastive learning ablation).
+
+Paper shape to reproduce: the full GARCIA beats "GARCIA w.o. ALL" (no
+contrastive pre-training), and each granularity contributes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig4_mgcl_ablation
+
+
+def test_fig4_mgcl_ablation(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: fig4_mgcl_ablation.run(bench_settings), rounds=1, iterations=1
+    )
+    report_result(result)
+    assert len(result.rows) == 3 * 5  # three windows × five variants
+    datasets = {row["dataset"] for row in result.rows}
+    full_better = 0
+    for dataset in datasets:
+        rows = {row["variant"]: row for row in result.rows if row["dataset"] == dataset}
+        if rows["GARCIA"]["overall_auc"] >= rows["GARCIA w.o. ALL"]["overall_auc"] - 0.02:
+            full_better += 1
+    assert full_better >= 2

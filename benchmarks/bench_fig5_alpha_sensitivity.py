@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 5 (sensitivity of the SECL weight alpha)."""
+
+import numpy as np
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig5_alpha
+
+
+def test_fig5_alpha_sensitivity(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: fig5_alpha.run(bench_settings), rounds=1, iterations=1
+    )
+    report_result(result)
+    assert [row["alpha"] for row in result.rows] == [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    assert all(np.isfinite(row["overall_auc"]) for row in result.rows)
+    # Per-epoch step curves are recorded for every alpha value.
+    assert any(key.endswith("/tail_auc") for key in result.series)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 6 (sensitivity of the IGCL weight beta)."""
+
+import numpy as np
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig6_beta
+
+
+def test_fig6_beta_sensitivity(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: fig6_beta.run(bench_settings), rounds=1, iterations=1
+    )
+    report_result(result)
+    assert [row["beta"] for row in result.rows] == [0.0, 0.01, 0.02, 0.03, 0.04, 0.05]
+    assert all(np.isfinite(row["tail_auc"]) for row in result.rows)

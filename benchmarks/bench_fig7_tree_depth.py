@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 7 (impact of the intention-tree depth H).
+
+Paper shape to reproduce: incorporating the intention tree beats the
+no-intention reference, with generally better results at larger H.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig7_tree_depth
+
+
+def test_fig7_intention_tree_depth(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: fig7_tree_depth.run(bench_settings), rounds=1, iterations=1
+    )
+    report_result(result)
+    assert result.rows[0]["H"] == "none"  # the reference line
+    assert [row["H"] for row in result.rows[1:]] == [1, 2, 3, 4, 5]
+    assert all(np.isfinite(row["overall_auc"]) for row in result.rows)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 8 (sensitivity of the contrastive temperature tau)."""
+
+import numpy as np
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig8_temperature
+
+
+def test_fig8_temperature_sensitivity(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: fig8_temperature.run(bench_settings), rounds=1, iterations=1
+    )
+    report_result(result)
+    assert [row["tau"] for row in result.rows] == [0.05, 0.1, 0.3, 0.5, 0.7, 1.0]
+    assert all(np.isfinite(row["tail_auc"]) for row in result.rows)

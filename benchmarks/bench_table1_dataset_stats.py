@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table I (dataset statistics).
+
+Paper shape to reproduce: on the industrial windows ~1-1.7 % of queries are
+head queries yet they account for ~94 % of search page views; the Amazon
+domains have a flatter (but still skewed) distribution.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments import table1_datasets
+
+
+def test_table1_dataset_statistics(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: table1_datasets.run(bench_settings), rounds=1, iterations=1
+    )
+    text = report_result(result)
+    assert len(result.rows) == 6
+    # Industrial windows: the head share of page views far exceeds the head
+    # share of queries (the long-tail phenomenon the paper builds on).
+    for row in result.rows[:3]:
+        assert row["pv_head_pct"] > 4 * row["queries_head_pct"]
+    assert "Sep. A" in text

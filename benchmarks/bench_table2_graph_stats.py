@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table II (graph and intention-tree statistics).
+
+Paper shape to reproduce: the tail view of the service-search graph contains
+more nodes and edges than the head view (tail queries are the vast majority),
+and the intention forest is small relative to the graph.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments import table2_graphs
+
+
+def test_table2_graph_statistics(benchmark, bench_settings):
+    result = benchmark.pedantic(
+        lambda: table2_graphs.run(bench_settings), rounds=1, iterations=1
+    )
+    report_result(result)
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert row["tail_nodes"] > row["head_nodes"]
+        assert row["tail_edges"] > row["head_edges"]
+        assert row["intention_nodes"] > 0

@@ -1,0 +1,51 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by running the
+corresponding driver from :mod:`repro.experiments` exactly once (pedantic
+mode, a single round) and then printing the rows/series the paper reports.
+The printed output is also written to ``benchmarks/results/<id>.txt`` so the
+EXPERIMENTS.md paper-vs-measured comparison can reference it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval.reporting import format_float_table
+from repro.experiments.common import ExperimentResult, ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Settings shared by every benchmark: the smallest scale that still shows
+#: the paper's qualitative shapes and keeps the whole harness to a few minutes.
+BENCH_SETTINGS = ExperimentSettings(
+    scale="tiny",
+    embedding_dim=16,
+    pretrain_epochs=2,
+    finetune_epochs=4,
+    learning_rate=5e-3,
+    batch_size=256,
+    seed=0,
+)
+
+
+def report_result(result: ExperimentResult) -> str:
+    """Format, print and persist one experiment result; returns the text."""
+    lines = [format_float_table(result.rows, title=result.title)]
+    if result.notes:
+        lines.append(f"notes: {result.notes}")
+    for name, series in result.series.items():
+        formatted = ", ".join("nan" if value != value else f"{value:.4f}" for value in series)
+        lines.append(f"series {name}: [{formatted}]")
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    return text
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    return BENCH_SETTINGS

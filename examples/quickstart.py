@@ -1,0 +1,64 @@
+"""Quickstart: train GARCIA on a synthetic service-search scenario.
+
+The script walks the full pipeline the paper describes:
+
+1. generate a long-tail service-search dataset (stand-in for Alipay logs),
+2. build the service-search graph and intention forest,
+3. pre-train GARCIA with multi-granularity contrastive learning,
+4. fine-tune on the click objective,
+5. evaluate head / tail / overall AUC, GAUC and NDCG@10 against LightGCN.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.data.industrial import industrial_config
+from repro.eval import Evaluator, format_float_table
+from repro.experiments.common import ExperimentSettings, build_model, train_model
+from repro.pipeline import prepare_scenario
+
+
+def main() -> None:
+    settings = ExperimentSettings(
+        scale="tiny",
+        embedding_dim=16,
+        pretrain_epochs=2,
+        finetune_epochs=4,
+        learning_rate=5e-3,
+    )
+
+    print("1) Generating the synthetic 'Sep. A' service-search scenario ...")
+    scenario = prepare_scenario(industrial_config("Sep. A", scale=settings.scale))
+    stats = scenario.dataset.statistics(
+        head_query_ids=scenario.head_tail.head_array(), splits=scenario.splits.sizes
+    )
+    print(format_float_table([stats.as_row()], title="Dataset statistics (Table I style)"))
+    print(f"\nService-search graph: {scenario.graph}")
+    print(f"Intention forest:     {scenario.forest}\n")
+
+    print("2) Training GARCIA (pre-train -> fine-tune) and the LightGCN baseline ...")
+    evaluator = Evaluator()
+    rows = []
+    for model_name in ("LightGCN", "GARCIA"):
+        model = build_model(model_name, scenario, settings)
+        train_model(model, scenario, settings)
+        report = evaluator.evaluate(
+            model, scenario.splits.test, scenario.head_tail, model_name=model.name
+        )
+        rows.append(
+            {
+                "model": model.name,
+                "head_auc": report.head.auc,
+                "tail_auc": report.tail.auc,
+                "overall_auc": report.overall.auc,
+                "tail_gauc": report.tail.gauc,
+                "tail_ndcg@10": report.tail.ndcg,
+            }
+        )
+
+    print()
+    print(format_float_table(rows, title="Test-set ranking quality (Table III / IV style)"))
+    print("\nDone.  See examples/long_tail_analysis.py and examples/online_serving.py for more.")
+
+
+if __name__ == "__main__":
+    main()

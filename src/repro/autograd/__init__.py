@@ -1,0 +1,32 @@
+"""Reverse-mode automatic differentiation on top of NumPy.
+
+This package is the deep-learning substrate of the GARCIA reproduction.  The
+original paper trains its models on an in-house parameter-server system built
+on a mainstream framework; since no such framework is available offline, the
+reproduction ships a small but complete autograd engine that supports every
+operation GARCIA and its baselines need:
+
+* dense linear algebra (matmul, transpose, reshape, concatenation, indexing),
+* element-wise math (add, mul, exp, log, power, clip),
+* reductions (sum, mean, max) with full broadcasting support,
+* neural-network non-linearities (relu, tanh, sigmoid, softmax, log-softmax),
+* similarity / normalisation primitives (L2 normalise, cosine similarity),
+* gradient checking utilities used by the test-suite.
+
+The public entry point is :class:`repro.autograd.Tensor`.  Operations either
+exist as methods on the tensor (``a @ b``, ``a.sum()``) or as free functions in
+:mod:`repro.autograd.functional`.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.grad_check import gradient_check, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradient_check",
+    "numerical_gradient",
+]

@@ -1,0 +1,153 @@
+"""Functional operations built from :class:`~repro.autograd.Tensor` primitives.
+
+These are the higher-level differentiable building blocks that GARCIA and the
+baselines use repeatedly: softmax families, L2 normalisation, cosine
+similarity matrices and the two loss primitives the paper relies on (binary
+cross entropy for fine-tuning, InfoNCE for every contrastive granularity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd.tensor import ArrayLike, Tensor
+
+EPSILON = 1e-12
+
+
+def _ensure(value: Union[Tensor, ArrayLike]) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return _ensure(x).relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return _ensure(x).tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return _ensure(x).sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = _ensure(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    x = _ensure(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def l2_normalize(x: Tensor, axis: int = -1) -> Tensor:
+    """Normalise ``x`` to unit L2 norm along ``axis``."""
+    x = _ensure(x)
+    norm = ((x * x).sum(axis=axis, keepdims=True) + EPSILON) ** 0.5
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Cosine similarity between matching rows of ``a`` and ``b``."""
+    a_norm = l2_normalize(_ensure(a), axis=axis)
+    b_norm = l2_normalize(_ensure(b), axis=axis)
+    return (a_norm * b_norm).sum(axis=axis)
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
+    """All-pairs cosine similarity: ``out[i, j] = cos(a_i, b_j)``."""
+    a_norm = l2_normalize(_ensure(a), axis=-1)
+    b_norm = l2_normalize(_ensure(b), axis=-1)
+    return a_norm @ b_norm.transpose()
+
+
+def binary_cross_entropy(predictions: Tensor, targets: Union[Tensor, ArrayLike]) -> Tensor:
+    """Mean binary cross entropy between probabilities and 0/1 targets.
+
+    This is the fine-tuning objective of GARCIA (Eq. 13 in the paper).
+    """
+    predictions = _ensure(predictions).clip(EPSILON, 1.0 - EPSILON)
+    targets = _ensure(targets)
+    losses = -(targets * predictions.log() + (1.0 - targets) * (1.0 - predictions).log())
+    return losses.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Union[Tensor, ArrayLike]) -> Tensor:
+    """Mean BCE computed from raw logits (numerically stable formulation).
+
+    Uses ``max(x, 0) - x * y + log(1 + exp(-|x|))`` which never exponentiates
+    a large positive number.
+    """
+    logits = _ensure(logits)
+    targets = _ensure(targets)
+    abs_logits = logits.relu() + (-logits).relu()
+    losses = logits.relu() - logits * targets + ((-abs_logits).exp() + 1.0).log()
+    return losses.mean()
+
+
+def info_nce(
+    anchors: Tensor,
+    positives: Tensor,
+    negatives: Optional[Tensor] = None,
+    temperature: float = 0.1,
+) -> Tensor:
+    """InfoNCE loss with cosine-similarity scores.
+
+    ``anchors`` and ``positives`` are aligned ``(n, d)`` matrices: row ``i`` of
+    ``positives`` is the positive sample for row ``i`` of ``anchors``.  If
+    ``negatives`` is omitted the loss uses the standard in-batch strategy: all
+    other rows of ``positives`` serve as negatives for each anchor.  If
+    ``negatives`` is provided (``(m, d)``), the candidate set for every anchor
+    is its own positive plus every row of ``negatives``.
+
+    This single primitive implements Eq. 4, 5, 7 and 9 of the paper, which all
+    share the ``-log softmax(cos/τ)`` structure and differ only in how the
+    anchor / positive / negative sets are constructed.
+    """
+    anchors = l2_normalize(_ensure(anchors), axis=-1)
+    positives = l2_normalize(_ensure(positives), axis=-1)
+
+    if negatives is None:
+        logits = (anchors @ positives.transpose()) / temperature
+        log_probs = log_softmax(logits, axis=-1)
+        n = anchors.shape[0]
+        diagonal = log_probs[np.arange(n), np.arange(n)]
+        return -diagonal.mean()
+
+    negatives = l2_normalize(_ensure(negatives), axis=-1)
+    positive_logits = (anchors * positives).sum(axis=-1, keepdims=True) / temperature
+    negative_logits = (anchors @ negatives.transpose()) / temperature
+    logits = Tensor.concat([positive_logits, negative_logits], axis=1)
+    log_probs = log_softmax(logits, axis=-1)
+    return -log_probs[:, 0].mean()
+
+
+def mse(predictions: Tensor, targets: Union[Tensor, ArrayLike]) -> Tensor:
+    """Mean squared error (used by a few auxiliary tests / sanity checks)."""
+    predictions = _ensure(predictions)
+    targets = _ensure(targets)
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, rate: float, rng: Optional[np.random.Generator] = None, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``rate`` is 0."""
+    if not training or rate <= 0.0:
+        return _ensure(x)
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    generator = rng if rng is not None else np.random.default_rng()
+    x = _ensure(x)
+    mask = (generator.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(mask)

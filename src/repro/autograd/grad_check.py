@@ -1,0 +1,80 @@
+"""Numerical gradient checking utilities.
+
+Used throughout the test-suite to verify that every analytic gradient in the
+autograd engine (and therefore every model gradient built on top of it)
+matches a central-difference approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    epsilon: float = 1e-6,
+) -> Tuple[np.ndarray, ...]:
+    """Central-difference gradient of scalar ``fn`` w.r.t. every input tensor."""
+    gradients = []
+    for tensor in inputs:
+        grad = np.zeros_like(tensor.data)
+        flat = tensor.data.reshape(-1)
+        flat_grad = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + epsilon
+            plus = float(fn(inputs).data)
+            flat[i] = original - epsilon
+            minus = float(fn(inputs).data)
+            flat[i] = original
+            flat_grad[i] = (plus - minus) / (2.0 * epsilon)
+        gradients.append(grad)
+    return tuple(gradients)
+
+
+def gradient_check(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare analytic and numerical gradients of a scalar-valued function.
+
+    Parameters
+    ----------
+    fn:
+        Callable taking the list of input tensors and returning a scalar
+        :class:`Tensor`.  It must rebuild the computation on every call.
+    inputs:
+        Tensors with ``requires_grad=True`` whose gradients are checked.
+
+    Returns
+    -------
+    bool
+        ``True`` if every analytic gradient is close to the numerical one.
+
+    Raises
+    ------
+    AssertionError
+        With a diagnostic message when a gradient mismatch is found.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = fn(inputs)
+    output.backward()
+    analytic = [np.zeros_like(t.data) if t.grad is None else t.grad for t in inputs]
+    numeric = numerical_gradient(fn, inputs, epsilon=epsilon)
+    for index, (a, n) in enumerate(zip(analytic, numeric)):
+        if not np.allclose(a, n, atol=atol, rtol=rtol):
+            max_err = float(np.max(np.abs(a - n)))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{a}\nnumeric:\n{n}"
+            )
+    return True

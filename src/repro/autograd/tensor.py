@@ -1,0 +1,529 @@
+"""Core :class:`Tensor` class implementing reverse-mode autodiff.
+
+The design follows the classic define-by-run tape approach: every operation
+records its parent tensors and a closure computing the local vector-Jacobian
+product.  Calling :meth:`Tensor.backward` performs a topological sort of the
+recorded graph and accumulates gradients into every tensor created with
+``requires_grad=True``.
+
+Only float64 data is used internally.  This keeps gradient checks tight and is
+fast enough for the laptop-scale experiments in this reproduction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value.astype(np.float64, copy=False)
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor that records operations for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    parents:
+        Tensors this tensor was computed from (internal).
+    backward_fn:
+        Closure mapping the upstream gradient to a tuple of gradients w.r.t.
+        each parent (internal).
+    name:
+        Optional label used in debugging output.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple[Tensor, ...] = tuple(parents) if self.requires_grad or parents else ()
+        self._backward_fn = backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
+    ) -> "Tensor":
+        requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires_grad:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to ``1.0`` for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        ordering = self._topological_order()
+        grads: dict = {id(self): grad}
+        for node in ordering:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and (node._backward_fn is None or not node._parents):
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward_fn is None or not node._parents:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                existing = grads.get(id(parent))
+                grads[id(parent)] = parent_grad if existing is None else existing + parent_grad
+
+    def _topological_order(self) -> List["Tensor"]:
+        ordering: List[Tensor] = []
+        visited = set()
+
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                ordering.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        ordering.reverse()
+        return ordering
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data + other.data
+
+        def backward_fn(upstream: np.ndarray):
+            return (
+                _unbroadcast(upstream, self.shape),
+                _unbroadcast(upstream, other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward_fn)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data - other.data
+
+        def backward_fn(upstream: np.ndarray):
+            return (
+                _unbroadcast(upstream, self.shape),
+                _unbroadcast(-upstream, other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward_fn)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data * other.data
+
+        def backward_fn(upstream: np.ndarray):
+            return (
+                _unbroadcast(upstream * other.data, self.shape),
+                _unbroadcast(upstream * self.data, other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward_fn)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data / other.data
+
+        def backward_fn(upstream: np.ndarray):
+            return (
+                _unbroadcast(upstream / other.data, self.shape),
+                _unbroadcast(-upstream * self.data / (other.data ** 2), other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward_fn)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward_fn(upstream: np.ndarray):
+            return (-upstream,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+        out_data = self.data ** exponent
+
+        def backward_fn(upstream: np.ndarray):
+            return (upstream * exponent * self.data ** (exponent - 1.0),)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra / shape ops
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data @ other.data
+
+        def backward_fn(upstream: np.ndarray):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                grad_a = upstream * b
+                grad_b = upstream * a
+            elif a.ndim == 1:
+                grad_a = upstream @ b.T
+                grad_b = np.outer(a, upstream)
+            elif b.ndim == 1:
+                grad_a = np.outer(upstream, b)
+                grad_b = a.T @ upstream
+            else:
+                grad_a = upstream @ np.swapaxes(b, -1, -2)
+                grad_b = np.swapaxes(a, -1, -2) @ upstream
+                grad_a = _unbroadcast(grad_a, a.shape)
+                grad_b = _unbroadcast(grad_b, b.shape)
+            return grad_a, grad_b
+
+        return self._make(out_data, (self, other), backward_fn)
+
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self.__matmul__(other)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_arg: Optional[Tuple[int, ...]] = tuple(axes) if axes else None
+        out_data = np.transpose(self.data, axes_arg)
+
+        def backward_fn(upstream: np.ndarray):
+            if axes_arg is None:
+                return (np.transpose(upstream),)
+            inverse = np.argsort(axes_arg)
+            return (np.transpose(upstream, inverse),)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward_fn(upstream: np.ndarray):
+            return (upstream.reshape(original_shape),)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        original_shape = self.shape
+
+        def backward_fn(upstream: np.ndarray):
+            grad = np.zeros(original_shape, dtype=np.float64)
+            np.add.at(grad, index, upstream)
+            return (grad,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def index_select(self, indices: ArrayLike, axis: int = 0) -> "Tensor":
+        """Gather rows (or slices along ``axis``) given integer ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = np.take(self.data, indices, axis=axis)
+        original_shape = self.shape
+
+        def backward_fn(upstream: np.ndarray):
+            grad = np.zeros(original_shape, dtype=np.float64)
+            if axis == 0:
+                np.add.at(grad, indices, upstream)
+            else:
+                moved_grad = np.moveaxis(grad, axis, 0)
+                moved_up = np.moveaxis(upstream, axis, 0)
+                np.add.at(moved_grad, indices, moved_up)
+            return (grad,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        original_shape = self.shape
+
+        def backward_fn(upstream: np.ndarray):
+            grad = upstream
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            return (np.broadcast_to(grad, original_shape).copy(),)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.mean(axis=axis, keepdims=keepdims)
+        original_shape = self.shape
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([original_shape[a] for a in axes]))
+
+        def backward_fn(upstream: np.ndarray):
+            grad = upstream
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            return (np.broadcast_to(grad, original_shape).copy() / count,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward_fn(upstream: np.ndarray):
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(np.float64)
+                mask /= mask.sum()
+                return (mask * upstream,)
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            grad = upstream if keepdims else np.expand_dims(upstream, axis=axis)
+            return (mask * grad,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward_fn(upstream: np.ndarray):
+            return (upstream * out_data,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward_fn(upstream: np.ndarray):
+            return (upstream / self.data,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def sqrt(self) -> "Tensor":
+        return self.__pow__(0.5)
+
+    def clip(self, min_value: Optional[float] = None, max_value: Optional[float] = None) -> "Tensor":
+        out_data = np.clip(self.data, min_value, max_value)
+
+        def backward_fn(upstream: np.ndarray):
+            mask = np.ones_like(self.data)
+            if min_value is not None:
+                mask = mask * (self.data >= min_value)
+            if max_value is not None:
+                mask = mask * (self.data <= max_value)
+            return (upstream * mask,)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward_fn(upstream: np.ndarray):
+            return (upstream * (self.data > 0.0),)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward_fn(upstream: np.ndarray):
+            return (upstream * (1.0 - out_data ** 2),)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward_fn(upstream: np.ndarray):
+            return (upstream * out_data * (1.0 - out_data),)
+
+        return self._make(out_data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Static constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(
+        shape: Union[int, Tuple[int, ...]],
+        scale: float = 1.0,
+        requires_grad: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Tensor":
+        generator = rng if rng is not None else np.random.default_rng()
+        return Tensor(generator.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._ensure(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward_fn(upstream: np.ndarray):
+            pieces = np.split(upstream, len(tensors), axis=axis)
+            return tuple(np.squeeze(piece, axis=axis) for piece in pieces)
+
+        return Tensor._make(out_data, tensors, backward_fn)
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._ensure(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        boundaries = np.cumsum(sizes)[:-1]
+
+        def backward_fn(upstream: np.ndarray):
+            pieces = np.split(upstream, boundaries, axis=axis)
+            return tuple(pieces)
+
+        return Tensor._make(out_data, tensors, backward_fn)

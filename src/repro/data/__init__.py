@@ -1,0 +1,53 @@
+"""Data substrate: schemas, synthetic long-tail generators and dataset configs.
+
+The paper evaluates on proprietary Alipay service-search logs (Sep. A/B/C) and
+three Amazon product-search datasets.  Neither is available offline, so this
+package generates synthetic datasets that reproduce the *distributional*
+properties the paper depends on:
+
+* a Zipf-like query frequency distribution where ~1 % of queries account for
+  ~90 % of search page views (the long-tail phenomenon of Sec. I),
+* an intention forest (≤5 levels) to which every query and service attaches,
+* intention-conditioned relevance, so that head and tail queries under the
+  same intention genuinely share transferable knowledge,
+* per-service quality signals (MAU and authoritative rating, Sec. V-F),
+* correlation attributes (city, brand, category, …) shared between related
+  queries and services (the "correlation condition" of Sec. III), and
+* timestamps enabling chronological train/validation/test splits.
+"""
+
+from repro.data.schema import (
+    Query,
+    Service,
+    Intention,
+    Interaction,
+    ServiceSearchDataset,
+    DatasetStatistics,
+)
+from repro.data.synthetic import SyntheticConfig, SyntheticDataGenerator, generate_dataset
+from repro.data.industrial import industrial_config, INDUSTRIAL_DATASETS
+from repro.data.amazon import amazon_config, AMAZON_DATASETS
+from repro.data.splits import chronological_split, head_tail_split, DataSplits, HeadTailSplit
+from repro.data.loaders import InteractionBatch, BatchLoader
+
+__all__ = [
+    "Query",
+    "Service",
+    "Intention",
+    "Interaction",
+    "ServiceSearchDataset",
+    "DatasetStatistics",
+    "SyntheticConfig",
+    "SyntheticDataGenerator",
+    "generate_dataset",
+    "industrial_config",
+    "INDUSTRIAL_DATASETS",
+    "amazon_config",
+    "AMAZON_DATASETS",
+    "chronological_split",
+    "head_tail_split",
+    "DataSplits",
+    "HeadTailSplit",
+    "InteractionBatch",
+    "BatchLoader",
+]

@@ -1,0 +1,107 @@
+"""Mini-batch loading for training and evaluation.
+
+The models consume interactions as aligned integer arrays (query ids, service
+ids, click labels).  :class:`BatchLoader` shuffles per epoch with its own
+generator so that data order is reproducible independently of model
+initialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import Interaction
+
+
+@dataclass
+class InteractionBatch:
+    """A mini-batch of (query, service, label) triples."""
+
+    query_ids: np.ndarray
+    service_ids: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.query_ids)
+
+    def __post_init__(self) -> None:
+        if not (len(self.query_ids) == len(self.service_ids) == len(self.labels)):
+            raise ValueError("batch arrays must have identical lengths")
+
+
+def interactions_to_arrays(interactions: Sequence[Interaction]) -> InteractionBatch:
+    """Convert a list of interactions into a single (possibly large) batch."""
+    if not interactions:
+        return InteractionBatch(
+            query_ids=np.zeros(0, dtype=np.int64),
+            service_ids=np.zeros(0, dtype=np.int64),
+            labels=np.zeros(0, dtype=np.float64),
+        )
+    query_ids = np.array([i.query_id for i in interactions], dtype=np.int64)
+    service_ids = np.array([i.service_id for i in interactions], dtype=np.int64)
+    labels = np.array([i.clicked for i in interactions], dtype=np.float64)
+    return InteractionBatch(query_ids=query_ids, service_ids=service_ids, labels=labels)
+
+
+class BatchLoader:
+    """Iterate over interactions in shuffled mini-batches.
+
+    Parameters
+    ----------
+    interactions:
+        The interaction list to batch (typically the train split).
+    batch_size:
+        Number of triples per batch; the paper uses 1024, the scaled-down
+        reproduction defaults to 256.
+    shuffle:
+        Whether to reshuffle at the start of every epoch.
+    seed:
+        Seed of the shuffling generator.
+    drop_last:
+        Drop the final incomplete batch (useful for in-batch negative
+        sampling losses that expect a fixed batch size).
+    """
+
+    def __init__(
+        self,
+        interactions: Sequence[Interaction],
+        batch_size: int = 256,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._full = interactions_to_arrays(list(interactions))
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self._full)
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    @property
+    def num_interactions(self) -> int:
+        return len(self._full)
+
+    def __iter__(self) -> Iterator[InteractionBatch]:
+        n = len(self._full)
+        indices = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, n, self.batch_size):
+            chunk = indices[start:start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            yield InteractionBatch(
+                query_ids=self._full.query_ids[chunk],
+                service_ids=self._full.service_ids[chunk],
+                labels=self._full.labels[chunk],
+            )

@@ -1,0 +1,243 @@
+"""Dataset schemas: queries, services, intentions, interactions.
+
+These dataclasses are deliberately plain containers.  All heavy lifting
+(generation, splitting, graph construction) lives in dedicated modules so the
+schemas remain dependency-free and trivially serialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Names of the correlation attributes used by the "correlation condition"
+#: of the service search graph (Sec. III).  The paper mentions city, brand
+#: and category explicitly and "about 11 semantic-related attributes" overall.
+CORRELATION_ATTRIBUTES: Tuple[str, ...] = ("city", "brand", "category")
+
+
+@dataclass
+class Intention:
+    """A node in an intention tree.
+
+    Attributes
+    ----------
+    intention_id:
+        Global integer id of the intention node (unique across the forest).
+    level:
+        1-based depth; level 1 is a root ("coarsest concept").
+    parent_id:
+        ``None`` for roots, otherwise the id of the parent intention.
+    children:
+        Ids of child intentions.
+    tree_id:
+        Which tree of the forest this node belongs to.
+    name:
+        Human-readable label, mainly for case studies and debugging.
+    """
+
+    intention_id: int
+    level: int
+    parent_id: Optional[int]
+    children: List[int] = field(default_factory=list)
+    tree_id: int = 0
+    name: str = ""
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class Service:
+    """A service (mini-program) that can be retrieved for a query."""
+
+    service_id: int
+    intention_id: int
+    attributes: Dict[str, int] = field(default_factory=dict)
+    mau: int = 0
+    rating: int = 1
+    name: str = ""
+
+    def quality_score(self) -> float:
+        """Composite quality used by case studies: log-MAU blended with rating."""
+        return float(np.log1p(self.mau) + self.rating)
+
+
+@dataclass
+class Query:
+    """A textual query issued by users.
+
+    ``frequency`` is the number of search page views attributed to the query
+    over the dataset window — the quantity whose skew defines head vs tail.
+    """
+
+    query_id: int
+    intention_id: int
+    attributes: Dict[str, int] = field(default_factory=dict)
+    frequency: int = 0
+    text: str = ""
+
+
+@dataclass
+class Interaction:
+    """One exposure of a service under a query, with its click label."""
+
+    query_id: int
+    service_id: int
+    clicked: int
+    timestamp: int
+    converted: int = 0
+
+
+@dataclass
+class DatasetStatistics:
+    """Summary statistics mirroring Table I of the paper."""
+
+    name: str
+    num_queries: int
+    num_services: int
+    num_interactions: int
+    head_query_fraction: float
+    tail_query_fraction: float
+    head_pv_fraction: float
+    tail_pv_fraction: float
+    num_train: int
+    num_validation: int
+    num_test: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict suitable for tabular printing."""
+        return {
+            "dataset": self.name,
+            "queries_head_pct": round(100.0 * self.head_query_fraction, 2),
+            "queries_tail_pct": round(100.0 * self.tail_query_fraction, 2),
+            "pv_head_pct": round(100.0 * self.head_pv_fraction, 2),
+            "pv_tail_pct": round(100.0 * self.tail_pv_fraction, 2),
+            "train": self.num_train,
+            "validation": self.num_validation,
+            "test": self.num_test,
+        }
+
+
+@dataclass
+class ServiceSearchDataset:
+    """A complete service-search dataset: entities, taxonomy and feedback."""
+
+    name: str
+    queries: List[Query]
+    services: List[Service]
+    intentions: List[Intention]
+    interactions: List[Interaction]
+    attribute_cardinalities: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def num_services(self) -> int:
+        return len(self.services)
+
+    @property
+    def num_intentions(self) -> int:
+        return len(self.intentions)
+
+    @property
+    def num_interactions(self) -> int:
+        return len(self.interactions)
+
+    def query_by_id(self, query_id: int) -> Query:
+        return self.queries[query_id]
+
+    def service_by_id(self, service_id: int) -> Service:
+        return self.services[service_id]
+
+    def intention_by_id(self, intention_id: int) -> Intention:
+        return self.intentions[intention_id]
+
+    def query_frequencies(self) -> np.ndarray:
+        """Search PV per query as an array indexed by ``query_id``."""
+        return np.array([query.frequency for query in self.queries], dtype=np.int64)
+
+    def interaction_array(self) -> np.ndarray:
+        """Interactions as an ``(n, 5)`` int array.
+
+        Columns: query_id, service_id, clicked, timestamp, converted.
+        """
+        if not self.interactions:
+            return np.zeros((0, 5), dtype=np.int64)
+        return np.array(
+            [
+                (i.query_id, i.service_id, i.clicked, i.timestamp, i.converted)
+                for i in self.interactions
+            ],
+            dtype=np.int64,
+        )
+
+    def validate(self) -> None:
+        """Check referential integrity; raises ``ValueError`` on corruption."""
+        query_ids = {query.query_id for query in self.queries}
+        service_ids = {service.service_id for service in self.services}
+        intention_ids = {intention.intention_id for intention in self.intentions}
+        if query_ids != set(range(len(self.queries))):
+            raise ValueError("query ids must be contiguous and start at 0")
+        if service_ids != set(range(len(self.services))):
+            raise ValueError("service ids must be contiguous and start at 0")
+        for query in self.queries:
+            if query.intention_id not in intention_ids:
+                raise ValueError(f"query {query.query_id} references unknown intention")
+        for service in self.services:
+            if service.intention_id not in intention_ids:
+                raise ValueError(f"service {service.service_id} references unknown intention")
+        for interaction in self.interactions:
+            if interaction.query_id not in query_ids:
+                raise ValueError("interaction references unknown query")
+            if interaction.service_id not in service_ids:
+                raise ValueError("interaction references unknown service")
+            if interaction.clicked not in (0, 1):
+                raise ValueError("click labels must be binary")
+
+    def statistics(self, head_query_ids: Optional[Sequence[int]] = None,
+                   splits: Optional[Tuple[int, int, int]] = None) -> DatasetStatistics:
+        """Compute Table I style statistics.
+
+        Parameters
+        ----------
+        head_query_ids:
+            Ids of queries classified as head; if omitted, the top 1 % by
+            frequency are used (the paper's observation for Alipay).
+        splits:
+            Optional (train, validation, test) interaction counts.
+        """
+        frequencies = self.query_frequencies()
+        total_pv = max(int(frequencies.sum()), 1)
+        if head_query_ids is None:
+            num_head = max(1, int(round(0.01 * len(self.queries))))
+            head_query_ids = np.argsort(-frequencies)[:num_head]
+        head_set = set(int(q) for q in head_query_ids)
+        head_pv = int(sum(self.queries[q].frequency for q in head_set))
+        head_fraction = len(head_set) / max(len(self.queries), 1)
+        train, validation, test = splits if splits is not None else (len(self.interactions), 0, 0)
+        return DatasetStatistics(
+            name=self.name,
+            num_queries=self.num_queries,
+            num_services=self.num_services,
+            num_interactions=self.num_interactions,
+            head_query_fraction=head_fraction,
+            tail_query_fraction=1.0 - head_fraction,
+            head_pv_fraction=head_pv / total_pv,
+            tail_pv_fraction=1.0 - head_pv / total_pv,
+            num_train=train,
+            num_validation=validation,
+            num_test=test,
+        )

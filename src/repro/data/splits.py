@@ -1,0 +1,118 @@
+"""Chronological splitting and head/tail query partitioning.
+
+The paper splits interactions chronologically into train / validation / test
+and partitions queries into head and tail by exposure (the top ~10k queries by
+page views in production; here a configurable fraction or count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.schema import Interaction, ServiceSearchDataset
+
+
+@dataclass
+class DataSplits:
+    """Train / validation / test interaction lists."""
+
+    train: List[Interaction]
+    validation: List[Interaction]
+    test: List[Interaction]
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train), len(self.validation), len(self.test))
+
+
+@dataclass
+class HeadTailSplit:
+    """Partition of query ids into head and tail by traffic."""
+
+    head_query_ids: Set[int]
+    tail_query_ids: Set[int]
+
+    def is_head(self, query_id: int) -> bool:
+        return query_id in self.head_query_ids
+
+    def is_tail(self, query_id: int) -> bool:
+        return query_id in self.tail_query_ids
+
+    @property
+    def num_head(self) -> int:
+        return len(self.head_query_ids)
+
+    @property
+    def num_tail(self) -> int:
+        return len(self.tail_query_ids)
+
+    def head_array(self) -> np.ndarray:
+        return np.array(sorted(self.head_query_ids), dtype=np.int64)
+
+    def tail_array(self) -> np.ndarray:
+        return np.array(sorted(self.tail_query_ids), dtype=np.int64)
+
+
+def chronological_split(
+    dataset: ServiceSearchDataset,
+    validation_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+) -> DataSplits:
+    """Split interactions by timestamp: earliest → train, latest → test.
+
+    Ties on the same timestamp are broken deterministically by the original
+    interaction order, which mimics intra-day ordering of a log.
+    """
+    if validation_fraction < 0 or test_fraction < 0 or validation_fraction + test_fraction >= 1.0:
+        raise ValueError("validation and test fractions must be non-negative and sum below 1")
+    interactions = dataset.interactions
+    order = sorted(range(len(interactions)), key=lambda i: (interactions[i].timestamp, i))
+    n = len(order)
+    num_test = int(round(test_fraction * n))
+    num_validation = int(round(validation_fraction * n))
+    num_train = n - num_validation - num_test
+    train = [interactions[i] for i in order[:num_train]]
+    validation = [interactions[i] for i in order[num_train:num_train + num_validation]]
+    test = [interactions[i] for i in order[num_train + num_validation:]]
+    return DataSplits(train=train, validation=validation, test=test)
+
+
+def head_tail_split(
+    dataset: ServiceSearchDataset,
+    head_fraction: Optional[float] = None,
+    head_count: Optional[int] = None,
+) -> HeadTailSplit:
+    """Split queries into head and tail by search page views.
+
+    Exactly one of ``head_fraction`` / ``head_count`` may be given; the
+    default follows the paper's production rule of "top queries by exposure"
+    with a 1 % fraction.
+    """
+    if head_fraction is not None and head_count is not None:
+        raise ValueError("give either head_fraction or head_count, not both")
+    frequencies = dataset.query_frequencies()
+    num_queries = len(frequencies)
+    if head_count is None:
+        fraction = 0.01 if head_fraction is None else head_fraction
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("head_fraction must be in (0, 1)")
+        head_count = max(1, int(round(fraction * num_queries)))
+    if not 0 < head_count < num_queries:
+        raise ValueError("head_count must be positive and smaller than the number of queries")
+    ranked = np.argsort(-frequencies, kind="stable")
+    head_ids = set(int(q) for q in ranked[:head_count])
+    tail_ids = set(range(num_queries)) - head_ids
+    return HeadTailSplit(head_query_ids=head_ids, tail_query_ids=tail_ids)
+
+
+def interactions_by_slice(
+    interactions: Sequence[Interaction],
+    split: HeadTailSplit,
+) -> Tuple[List[Interaction], List[Interaction]]:
+    """Partition interactions into (head, tail) according to their query."""
+    head = [i for i in interactions if split.is_head(i.query_id)]
+    tail = [i for i in interactions if split.is_tail(i.query_id)]
+    return head, tail

@@ -1,0 +1,22 @@
+"""Evaluation: ranking metrics, per-slice evaluators and the online A/B simulator."""
+
+from repro.eval.metrics import auc, gauc, ndcg_at_k, ctr, hit_rate_at_k
+from repro.eval.evaluator import SliceMetrics, EvaluationReport, Evaluator
+from repro.eval.ab_test import ABTestConfig, ABTestResult, OnlineABTest
+from repro.eval.reporting import format_table, format_float_table
+
+__all__ = [
+    "auc",
+    "gauc",
+    "ndcg_at_k",
+    "ctr",
+    "hit_rate_at_k",
+    "SliceMetrics",
+    "EvaluationReport",
+    "Evaluator",
+    "ABTestConfig",
+    "ABTestResult",
+    "OnlineABTest",
+    "format_table",
+    "format_float_table",
+]

@@ -1,0 +1,134 @@
+"""Per-slice evaluation of ranking models.
+
+The paper reports every metric on three query slices: head, tail and overall.
+:class:`Evaluator` scores a trained model on a set of interactions and
+produces an :class:`EvaluationReport` holding a :class:`SliceMetrics` per
+slice — exactly the layout of Table III / Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.loaders import interactions_to_arrays
+from repro.data.schema import Interaction
+from repro.data.splits import HeadTailSplit
+from repro.eval.metrics import auc, gauc, ndcg_at_k
+
+SLICES = ("head", "tail", "overall")
+
+
+@dataclass
+class SliceMetrics:
+    """Metrics of a single query slice."""
+
+    auc: float
+    gauc: float
+    ndcg: float
+    num_interactions: int
+    num_queries: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "auc": self.auc,
+            "gauc": self.gauc,
+            "ndcg": self.ndcg,
+            "num_interactions": self.num_interactions,
+            "num_queries": self.num_queries,
+        }
+
+
+@dataclass
+class EvaluationReport:
+    """Head / tail / overall metrics of one model on one dataset."""
+
+    model_name: str
+    dataset_name: str
+    slices: Dict[str, SliceMetrics] = field(default_factory=dict)
+
+    @property
+    def head(self) -> SliceMetrics:
+        return self.slices["head"]
+
+    @property
+    def tail(self) -> SliceMetrics:
+        return self.slices["tail"]
+
+    @property
+    def overall(self) -> SliceMetrics:
+        return self.slices["overall"]
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten to one Table III style row (AUC per slice)."""
+        return {
+            "model": self.model_name,
+            "head_auc": round(self.head.auc, 4),
+            "tail_auc": round(self.tail.auc, 4),
+            "overall_auc": round(self.overall.auc, 4),
+        }
+
+
+class Evaluator:
+    """Score a model on interactions and report per-slice ranking quality."""
+
+    def __init__(self, ndcg_k: int = 10, batch_size: int = 4096) -> None:
+        if ndcg_k <= 0:
+            raise ValueError("ndcg_k must be positive")
+        self.ndcg_k = ndcg_k
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        model,
+        interactions: Sequence[Interaction],
+        head_tail: HeadTailSplit,
+        dataset_name: str = "",
+        model_name: Optional[str] = None,
+    ) -> EvaluationReport:
+        """Evaluate ``model`` (anything with ``predict(query_ids, service_ids)``)."""
+        batch = interactions_to_arrays(list(interactions))
+        if len(batch) == 0:
+            raise ValueError("cannot evaluate on an empty interaction list")
+        scores = self.score(model, batch.query_ids, batch.service_ids)
+        labels = batch.labels
+        is_head = np.array([head_tail.is_head(int(q)) for q in batch.query_ids], dtype=bool)
+
+        report = EvaluationReport(
+            model_name=model_name if model_name is not None else getattr(model, "name", type(model).__name__),
+            dataset_name=dataset_name,
+        )
+        masks = {"head": is_head, "tail": ~is_head, "overall": np.ones(len(labels), dtype=bool)}
+        for slice_name, mask in masks.items():
+            report.slices[slice_name] = self._slice_metrics(
+                labels[mask], scores[mask], batch.query_ids[mask]
+            )
+        return report
+
+    def score(self, model, query_ids: np.ndarray, service_ids: np.ndarray) -> np.ndarray:
+        """Predict click probabilities in batches (no gradient tracking)."""
+        pieces = []
+        for start in range(0, len(query_ids), self.batch_size):
+            stop = start + self.batch_size
+            pieces.append(np.asarray(model.predict(query_ids[start:stop], service_ids[start:stop])))
+        return np.concatenate(pieces) if pieces else np.zeros(0)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _slice_metrics(self, labels: np.ndarray, scores: np.ndarray, group_ids: np.ndarray) -> SliceMetrics:
+        if len(labels) == 0:
+            return SliceMetrics(auc=float("nan"), gauc=float("nan"), ndcg=float("nan"),
+                                num_interactions=0, num_queries=0)
+        return SliceMetrics(
+            auc=auc(labels, scores),
+            gauc=gauc(labels, scores, group_ids),
+            ndcg=ndcg_at_k(labels, scores, group_ids, k=self.ndcg_k),
+            num_interactions=int(len(labels)),
+            num_queries=int(len(np.unique(group_ids))),
+        )

@@ -1,0 +1,159 @@
+"""Ranking metrics: AUC, GAUC, NDCG@K, CTR and hit rate.
+
+The three offline metrics reported in the paper are AUC, GAUC (AUC computed
+per query and averaged with per-query sample weights) and NDCG@K.  The online
+experiments use CTR and Valid CTR, both simple ratios over impressions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _validate_binary(labels: np.ndarray) -> None:
+    unique = np.unique(labels)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError(f"labels must be binary 0/1, got values {unique}")
+
+
+def auc(labels: Sequence[float], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the Mann-Whitney rank statistic.
+
+    Ties in scores receive the average rank, which matches the standard
+    trapezoidal ROC computation.  Returns ``nan`` when only one class is
+    present (AUC is undefined there).
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    _validate_binary(labels)
+    num_positive = int(labels.sum())
+    num_negative = len(labels) - num_positive
+    if num_positive == 0 or num_negative == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    # Average ranks over tied groups.
+    rank_values = np.arange(1, len(scores) + 1, dtype=np.float64)
+    unique_scores, inverse, counts = np.unique(sorted_scores, return_inverse=True, return_counts=True)
+    cumulative = np.cumsum(counts)
+    start = cumulative - counts + 1
+    averaged = (start + cumulative) / 2.0
+    ranks[order] = averaged[inverse]
+    positive_rank_sum = ranks[labels == 1].sum()
+    statistic = positive_rank_sum - num_positive * (num_positive + 1) / 2.0
+    return float(statistic / (num_positive * num_negative))
+
+
+def gauc(
+    labels: Sequence[float],
+    scores: Sequence[float],
+    group_ids: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Group AUC: impression-weighted mean of the per-query AUC.
+
+    Queries whose impressions contain a single class are skipped, as is
+    standard.  ``weights`` default to the number of impressions per group.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    if not (len(labels) == len(scores) == len(group_ids)):
+        raise ValueError("labels, scores and group_ids must have the same length")
+    custom_weights: Optional[Dict[int, float]] = None
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(weights) != len(labels):
+            raise ValueError("weights must align with labels")
+    total_weight = 0.0
+    weighted_sum = 0.0
+    for group in np.unique(group_ids):
+        mask = group_ids == group
+        group_auc = auc(labels[mask], scores[mask])
+        if np.isnan(group_auc):
+            continue
+        weight = float(weights[mask].sum()) if weights is not None else float(mask.sum())
+        weighted_sum += weight * group_auc
+        total_weight += weight
+    if total_weight == 0.0:
+        return float("nan")
+    return float(weighted_sum / total_weight)
+
+
+def dcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of a relevance list truncated at ``k``."""
+    relevances = np.asarray(relevances, dtype=np.float64)[:k]
+    if relevances.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, relevances.size + 2))
+    return float((relevances * discounts).sum())
+
+
+def ndcg_at_k(
+    labels: Sequence[float],
+    scores: Sequence[float],
+    group_ids: Sequence[int],
+    k: int = 10,
+) -> float:
+    """Mean NDCG@K over queries (groups) with at least one relevant item."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    values = []
+    for group in np.unique(group_ids):
+        mask = group_ids == group
+        group_labels = labels[mask]
+        if group_labels.sum() == 0:
+            continue
+        group_scores = scores[mask]
+        order = np.argsort(-group_scores, kind="mergesort")
+        ranked = group_labels[order]
+        ideal = np.sort(group_labels)[::-1]
+        ideal_dcg = dcg_at_k(ideal, k)
+        if ideal_dcg == 0.0:
+            continue
+        values.append(dcg_at_k(ranked, k) / ideal_dcg)
+    if not values:
+        return float("nan")
+    return float(np.mean(values))
+
+
+def ctr(clicks: Sequence[float], impressions: Optional[int] = None) -> float:
+    """Click-through rate: clicks per impression."""
+    clicks = np.asarray(clicks, dtype=np.float64)
+    denominator = len(clicks) if impressions is None else impressions
+    if denominator == 0:
+        return float("nan")
+    return float(clicks.sum() / denominator)
+
+
+def hit_rate_at_k(
+    labels: Sequence[float],
+    scores: Sequence[float],
+    group_ids: Sequence[int],
+    k: int = 10,
+) -> float:
+    """Fraction of queries for which a relevant item appears in the top K."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    hits = []
+    for group in np.unique(group_ids):
+        mask = group_ids == group
+        group_labels = labels[mask]
+        if group_labels.sum() == 0:
+            continue
+        order = np.argsort(-scores[mask], kind="mergesort")
+        hits.append(1.0 if group_labels[order][:k].sum() > 0 else 0.0)
+    if not hits:
+        return float("nan")
+    return float(np.mean(hits))

@@ -1,0 +1,53 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+Each driver exposes a ``run(settings)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows/series mirror
+what the paper reports.  The benchmarks in ``benchmarks/`` are thin wrappers
+that execute these drivers and print the resulting tables.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    scenario_for,
+    build_model,
+    train_model,
+    train_and_evaluate,
+    all_dataset_names,
+)
+from repro.experiments import (
+    table1_datasets,
+    table2_graphs,
+    table3_auc,
+    table4_tail_ranking,
+    fig3_adaptive_encoding,
+    fig4_mgcl_ablation,
+    fig5_alpha,
+    fig6_beta,
+    fig7_tree_depth,
+    fig8_temperature,
+    fig10_online_ab,
+    fig11_case_study,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSettings",
+    "scenario_for",
+    "build_model",
+    "train_model",
+    "train_and_evaluate",
+    "all_dataset_names",
+    "table1_datasets",
+    "table2_graphs",
+    "table3_auc",
+    "table4_tail_ranking",
+    "fig3_adaptive_encoding",
+    "fig4_mgcl_ablation",
+    "fig5_alpha",
+    "fig6_beta",
+    "fig7_tree_depth",
+    "fig8_temperature",
+    "fig10_online_ab",
+    "fig11_case_study",
+]

@@ -1,0 +1,68 @@
+"""Shared hyper-parameter sweep helper for the sensitivity figures (Fig. 5–8).
+
+Each sensitivity experiment trains GARCIA on one industrial dataset for a
+grid of values of a single hyper-parameter, tracking tail and overall AUC on
+the validation split after every epoch (the "training steps" axis of Fig. 5
+and Fig. 6) and reporting the final test AUC (the bar charts of Fig. 7 and
+Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.eval.evaluator import Evaluator
+from repro.experiments.common import ExperimentResult, ExperimentSettings, build_model, scenario_for, train_model
+from repro.models.garcia.config import GarciaConfig
+from repro.pipeline import Scenario
+
+
+def sweep_garcia_hyperparameter(
+    experiment_id: str,
+    title: str,
+    parameter_name: str,
+    values: Sequence[float],
+    make_config: Callable[[ExperimentSettings, float], GarciaConfig],
+    settings: Optional[ExperimentSettings] = None,
+    dataset: str = "Sep. A",
+    track_steps: bool = True,
+) -> ExperimentResult:
+    """Train GARCIA once per value of one hyper-parameter and collect AUC.
+
+    Parameters
+    ----------
+    parameter_name:
+        Column / series label of the swept hyper-parameter.
+    values:
+        Grid of values to sweep.
+    make_config:
+        Builds the :class:`GarciaConfig` for one grid value.
+    track_steps:
+        When true, per-epoch validation AUC series are recorded under
+        ``series["<param>=<value>/tail_auc"]`` (the step curves of Fig. 5/6).
+    """
+    settings = settings if settings is not None else ExperimentSettings()
+    scenario = scenario_for(dataset, settings)
+    evaluator = Evaluator()
+    result = ExperimentResult(experiment_id=experiment_id, title=title)
+    for value in values:
+        config = make_config(settings, value)
+        model = build_model("GARCIA", scenario, settings, garcia_config=config)
+        history = train_model(model, scenario, settings, track_validation=track_steps)
+        report = evaluator.evaluate(
+            model, scenario.splits.test, scenario.head_tail,
+            dataset_name=dataset, model_name=f"{parameter_name}={value}",
+        )
+        result.rows.append(
+            {
+                "dataset": dataset,
+                parameter_name: value,
+                "tail_auc": report.tail.auc,
+                "overall_auc": report.overall.auc,
+            }
+        )
+        if track_steps:
+            label = f"{parameter_name}={value}"
+            result.series[f"{label}/tail_auc"] = history.metric("tail_auc")
+            result.series[f"{label}/overall_auc"] = history.metric("overall_auc")
+    return result

@@ -1,0 +1,30 @@
+"""Graph substrate: the service-search graph and the intention forest.
+
+The service-search graph (Sec. III of the paper) connects queries and
+services through two edge types:
+
+* **interaction edges** — the service was clicked under the query in the
+  training window; the click-through rate is kept as an edge feature;
+* **correlation edges** — the query and service share correlation attributes
+  (city, brand, category); the number of shared attributes is the feature.
+
+The intention forest is the ≤5-level taxonomy every query/service attaches
+to; GARCIA's intention encoder aggregates it bottom-up and the IGCL loss uses
+level-matched negatives from the same tree (hard) and other trees (easy).
+"""
+
+from repro.graph.search_graph import ServiceSearchGraph, GraphStatistics
+from repro.graph.builder import GraphBuilder, GraphBuildConfig
+from repro.graph.intention_tree import IntentionForest
+from repro.graph.sampling import dropout_adjacency, dropout_nodes, add_embedding_noise
+
+__all__ = [
+    "ServiceSearchGraph",
+    "GraphStatistics",
+    "GraphBuilder",
+    "GraphBuildConfig",
+    "IntentionForest",
+    "dropout_adjacency",
+    "dropout_nodes",
+    "add_embedding_noise",
+]

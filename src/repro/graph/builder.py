@@ -1,0 +1,172 @@
+"""GraphBuilder: derive the service-search graph from feedback logs.
+
+The builder mirrors the production "Node Feature Extractor" and "Relation
+Extractor" components of the deployment pipeline (Fig. 9):
+
+* the **interaction condition** adds an edge between a query and a service
+  when the service was clicked under that query within the training window,
+  keeping the observed click-through rate as an edge feature;
+* the **correlation condition** adds an edge when the pair shares at least a
+  configurable number of correlation attributes (city, brand, category),
+  keeping the shared-attribute ratio as an edge feature.
+
+Only *training* interactions may be used for edge construction so that graph
+structure never leaks validation/test labels.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import CORRELATION_ATTRIBUTES, Interaction, ServiceSearchDataset
+from repro.data.splits import HeadTailSplit
+from repro.graph.search_graph import ServiceSearchGraph
+
+
+@dataclass
+class GraphBuildConfig:
+    """Knobs of the graph construction process."""
+
+    #: Minimum number of clicks for the interaction condition to fire.
+    min_clicks: int = 1
+    #: Minimum number of shared correlation attributes for a correlation edge.
+    min_shared_attributes: int = 2
+    #: Cap on correlation edges added per query (keeps density bounded on
+    #: datasets with very popular brands/cities).
+    max_correlation_edges_per_query: int = 20
+    #: Window (in days, counted back from the latest timestamp) from which
+    #: interactions are considered; the paper uses the past 30 days.
+    interaction_window_days: int = 30
+
+
+class GraphBuilder:
+    """Build a :class:`ServiceSearchGraph` from a dataset and its train split."""
+
+    def __init__(self, config: Optional[GraphBuildConfig] = None) -> None:
+        self.config = config if config is not None else GraphBuildConfig()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        dataset: ServiceSearchDataset,
+        train_interactions: Sequence[Interaction],
+        head_tail: HeadTailSplit,
+    ) -> ServiceSearchGraph:
+        """Construct the graph from training feedback and entity attributes."""
+        num_queries = dataset.num_queries
+        num_services = dataset.num_services
+        total = num_queries + num_services
+
+        adjacency = np.zeros((total, total), dtype=np.float64)
+        ctr = np.zeros((total, total), dtype=np.float64)
+        correlation = np.zeros((total, total), dtype=np.float64)
+
+        self._add_interaction_edges(dataset, train_interactions, adjacency, ctr)
+        self._add_correlation_edges(dataset, adjacency, correlation)
+
+        query_attributes = self._attribute_arrays(
+            (query.attributes for query in dataset.queries), num_queries
+        )
+        service_attributes = self._attribute_arrays(
+            (service.attributes for service in dataset.services), num_services
+        )
+        return ServiceSearchGraph(
+            num_queries=num_queries,
+            num_services=num_services,
+            adjacency=adjacency,
+            ctr=ctr,
+            correlation=correlation,
+            query_attributes=query_attributes,
+            service_attributes=service_attributes,
+            head_query_ids=head_tail.head_array(),
+            name=dataset.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interaction condition
+    # ------------------------------------------------------------------ #
+    def _add_interaction_edges(
+        self,
+        dataset: ServiceSearchDataset,
+        interactions: Sequence[Interaction],
+        adjacency: np.ndarray,
+        ctr: np.ndarray,
+    ) -> None:
+        if not interactions:
+            return
+        latest = max(i.timestamp for i in interactions)
+        cutoff = latest - self.config.interaction_window_days
+        exposures: Dict[Tuple[int, int], int] = defaultdict(int)
+        clicks: Dict[Tuple[int, int], int] = defaultdict(int)
+        for interaction in interactions:
+            if interaction.timestamp < cutoff:
+                continue
+            key = (interaction.query_id, interaction.service_id)
+            exposures[key] += 1
+            clicks[key] += interaction.clicked
+        num_queries = dataset.num_queries
+        for (query_id, service_id), click_count in clicks.items():
+            if click_count < self.config.min_clicks:
+                continue
+            query_node = query_id
+            service_node = num_queries + service_id
+            rate = click_count / max(exposures[(query_id, service_id)], 1)
+            adjacency[query_node, service_node] = 1.0
+            adjacency[service_node, query_node] = 1.0
+            ctr[query_node, service_node] = rate
+            ctr[service_node, query_node] = rate
+
+    # ------------------------------------------------------------------ #
+    # Correlation condition
+    # ------------------------------------------------------------------ #
+    def _add_correlation_edges(
+        self,
+        dataset: ServiceSearchDataset,
+        adjacency: np.ndarray,
+        correlation: np.ndarray,
+    ) -> None:
+        num_queries = dataset.num_queries
+        num_attributes = len(CORRELATION_ATTRIBUTES)
+        # Index services by each attribute value for fast candidate lookup.
+        services_by_attr: Dict[Tuple[str, int], list] = defaultdict(list)
+        for service in dataset.services:
+            for key in CORRELATION_ATTRIBUTES:
+                services_by_attr[(key, service.attributes.get(key, -1))].append(service.service_id)
+
+        for query in dataset.queries:
+            candidate_matches: Dict[int, int] = defaultdict(int)
+            for key in CORRELATION_ATTRIBUTES:
+                value = query.attributes.get(key, -2)
+                for service_id in services_by_attr.get((key, value), ()):
+                    candidate_matches[service_id] += 1
+            qualified = [
+                (matches, service_id)
+                for service_id, matches in candidate_matches.items()
+                if matches >= self.config.min_shared_attributes
+            ]
+            qualified.sort(key=lambda pair: (-pair[0], pair[1]))
+            for matches, service_id in qualified[: self.config.max_correlation_edges_per_query]:
+                query_node = query.query_id
+                service_node = num_queries + service_id
+                strength = matches / num_attributes
+                adjacency[query_node, service_node] = 1.0
+                adjacency[service_node, query_node] = 1.0
+                correlation[query_node, service_node] = strength
+                correlation[service_node, query_node] = strength
+
+    # ------------------------------------------------------------------ #
+    # Node features
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _attribute_arrays(attribute_dicts: Iterable[Dict[str, int]], count: int) -> Dict[str, np.ndarray]:
+        arrays: Dict[str, np.ndarray] = {key: np.zeros(count, dtype=np.int64) for key in CORRELATION_ATTRIBUTES}
+        for index, attributes in enumerate(attribute_dicts):
+            for key in CORRELATION_ATTRIBUTES:
+                arrays[key][index] = attributes.get(key, 0)
+        return arrays

@@ -1,0 +1,170 @@
+"""Intention forest utilities.
+
+Wraps the flat intention list of a dataset into the structures GARCIA needs:
+
+* bottom-up level ordering for the hierarchical intention encoder (Eq. 3),
+* parent chains ``P_{q,i}`` (the intention of a query plus all its ancestors)
+  used as IGCL positives (Eq. 9),
+* level-matched negative sampling: "hard" negatives share the tree and the
+  level of the positive intention, "easy" negatives have the same level but
+  come from a different tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import Intention, ServiceSearchDataset
+
+
+class IntentionForest:
+    """Structured view over a dataset's intention nodes."""
+
+    def __init__(self, intentions: Sequence[Intention], max_level: Optional[int] = None) -> None:
+        if not intentions:
+            raise ValueError("IntentionForest requires at least one intention node")
+        self.intentions: List[Intention] = list(intentions)
+        self.num_intentions = len(self.intentions)
+        self.levels = np.array([i.level for i in self.intentions], dtype=np.int64)
+        self.tree_ids = np.array([i.tree_id for i in self.intentions], dtype=np.int64)
+        self.parent_ids = np.array(
+            [-1 if i.parent_id is None else i.parent_id for i in self.intentions], dtype=np.int64
+        )
+        self.max_level = int(self.levels.max()) if max_level is None else int(max_level)
+        if self.max_level < 1:
+            raise ValueError("max_level must be at least 1")
+        self._children: List[List[int]] = [list(i.children) for i in self.intentions]
+        self._ancestor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._by_level: Dict[int, np.ndarray] = {}
+        for level in range(1, int(self.levels.max()) + 1):
+            self._by_level[level] = np.flatnonzero(self.levels == level)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dataset(cls, dataset: ServiceSearchDataset, max_level: Optional[int] = None) -> "IntentionForest":
+        return cls(dataset.intentions, max_level=max_level)
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def children(self, intention_id: int) -> List[int]:
+        return self._children[intention_id]
+
+    def parent(self, intention_id: int) -> Optional[int]:
+        parent = int(self.parent_ids[intention_id])
+        return None if parent < 0 else parent
+
+    def level(self, intention_id: int) -> int:
+        return int(self.levels[intention_id])
+
+    def tree(self, intention_id: int) -> int:
+        return int(self.tree_ids[intention_id])
+
+    def nodes_at_level(self, level: int) -> np.ndarray:
+        """All intention ids at the given 1-based level (roots are level 1)."""
+        return self._by_level.get(level, np.zeros(0, dtype=np.int64))
+
+    def ancestors(self, intention_id: int) -> Tuple[int, ...]:
+        """Return the ancestor chain of ``intention_id`` (parent, grandparent, …)."""
+        cached = self._ancestor_cache.get(intention_id)
+        if cached is not None:
+            return cached
+        chain: List[int] = []
+        current = self.parent(intention_id)
+        while current is not None:
+            chain.append(current)
+            current = self.parent(current)
+        result = tuple(chain)
+        self._ancestor_cache[intention_id] = result
+        return result
+
+    def parent_chain(self, intention_id: int, max_level: Optional[int] = None) -> Tuple[int, ...]:
+        """The IGCL positive set ``P``: the intention itself plus its ancestors.
+
+        ``max_level`` truncates the chain to ancestors whose level is at least
+        ``deepest_level - max_level + 1`` — this is how the H hyper-parameter
+        (number of intention-tree levels used) is exercised in Fig. 7.
+        """
+        chain = (intention_id,) + self.ancestors(intention_id)
+        if max_level is None:
+            return chain
+        if max_level < 1:
+            raise ValueError("max_level must be at least 1")
+        deepest = self.level(intention_id)
+        lowest_allowed = deepest - max_level + 1
+        return tuple(node for node in chain if self.level(node) >= lowest_allowed)
+
+    def bottom_up_levels(self) -> List[np.ndarray]:
+        """Levels ordered deepest-first, as consumed by the bottom-up encoder."""
+        deepest = int(self.levels.max())
+        return [self.nodes_at_level(level) for level in range(deepest, 0, -1)]
+
+    # ------------------------------------------------------------------ #
+    # Negative sampling for IGCL
+    # ------------------------------------------------------------------ #
+    def hard_negatives(self, intention_id: int, exclude: Sequence[int] = ()) -> np.ndarray:
+        """Same-tree, same-level intentions other than the positive itself."""
+        level = self.level(intention_id)
+        tree = self.tree(intention_id)
+        candidates = self.nodes_at_level(level)
+        mask = (self.tree_ids[candidates] == tree) & (candidates != intention_id)
+        if len(exclude):
+            mask &= ~np.isin(candidates, np.asarray(exclude, dtype=np.int64))
+        return candidates[mask]
+
+    def easy_negatives(self, intention_id: int, exclude: Sequence[int] = ()) -> np.ndarray:
+        """Other-tree, same-level intentions."""
+        level = self.level(intention_id)
+        tree = self.tree(intention_id)
+        candidates = self.nodes_at_level(level)
+        mask = self.tree_ids[candidates] != tree
+        if len(exclude):
+            mask &= ~np.isin(candidates, np.asarray(exclude, dtype=np.int64))
+        return candidates[mask]
+
+    def sample_negatives(
+        self,
+        intention_id: int,
+        num_negatives: int,
+        rng: np.random.Generator,
+        hard_ratio: float = 0.5,
+    ) -> np.ndarray:
+        """Mix of hard (same-tree) and easy (other-tree) level-matched negatives."""
+        if num_negatives <= 0:
+            return np.zeros(0, dtype=np.int64)
+        hard = self.hard_negatives(intention_id)
+        easy = self.easy_negatives(intention_id)
+        num_hard = int(round(hard_ratio * num_negatives))
+        chosen: List[int] = []
+        if len(hard):
+            take = min(num_hard, len(hard))
+            chosen.extend(rng.choice(hard, size=take, replace=len(hard) < take).tolist())
+        remaining = num_negatives - len(chosen)
+        if remaining > 0 and len(easy):
+            chosen.extend(rng.choice(easy, size=remaining, replace=len(easy) < remaining).tolist())
+        if not chosen:
+            # Degenerate forest (single tree, single node per level): fall back
+            # to any other intention so the loss stays well defined.
+            others = np.array([i for i in range(self.num_intentions) if i != intention_id], dtype=np.int64)
+            if len(others) == 0:
+                return np.zeros(0, dtype=np.int64)
+            chosen = rng.choice(others, size=min(num_negatives, len(others)), replace=False).tolist()
+        return np.array(chosen, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table II)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of parent→child edges in the forest."""
+        return int((self.parent_ids >= 0).sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"IntentionForest(nodes={self.num_intentions}, edges={self.num_edges}, "
+            f"max_level={self.max_level})"
+        )

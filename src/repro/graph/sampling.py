@@ -1,0 +1,62 @@
+"""Stochastic graph augmentations.
+
+These utilities implement the random augmentations the CL-augmented GNN
+baselines rely on (and which GARCIA deliberately avoids in favour of
+relation-driven contrastive pairs):
+
+* :func:`dropout_adjacency` — edge dropout, used by SGL;
+* :func:`dropout_nodes` — node dropout, used by SGL's node-drop variant;
+* :func:`add_embedding_noise` — uniform directional noise on embeddings, the
+  augmentation-free perturbation of SimGCL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def dropout_adjacency(adjacency: np.ndarray, rate: float, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Randomly remove a fraction ``rate`` of edges (symmetrically)."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"edge dropout rate must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return adjacency.copy()
+    generator = rng if rng is not None else np.random.default_rng()
+    upper = np.triu(adjacency, k=1)
+    rows, cols = np.nonzero(upper)
+    keep = generator.random(len(rows)) >= rate
+    result = np.zeros_like(adjacency)
+    kept_rows, kept_cols = rows[keep], cols[keep]
+    result[kept_rows, kept_cols] = adjacency[kept_rows, kept_cols]
+    result[kept_cols, kept_rows] = adjacency[kept_cols, kept_rows]
+    return result
+
+
+def dropout_nodes(adjacency: np.ndarray, rate: float, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Randomly isolate a fraction ``rate`` of nodes (drop all their edges)."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"node dropout rate must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return adjacency.copy()
+    generator = rng if rng is not None else np.random.default_rng()
+    num_nodes = adjacency.shape[0]
+    dropped = generator.random(num_nodes) < rate
+    result = adjacency.copy()
+    result[dropped, :] = 0.0
+    result[:, dropped] = 0.0
+    return result
+
+
+def add_embedding_noise(embeddings: np.ndarray, magnitude: float,
+                        rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """SimGCL-style perturbation: add sign-aligned uniform noise of fixed L2 norm."""
+    if magnitude < 0:
+        raise ValueError(f"noise magnitude must be non-negative, got {magnitude}")
+    if magnitude == 0.0:
+        return embeddings.copy()
+    generator = rng if rng is not None else np.random.default_rng()
+    noise = generator.uniform(0.0, 1.0, size=embeddings.shape)
+    noise /= np.linalg.norm(noise, axis=-1, keepdims=True) + 1e-12
+    return embeddings + magnitude * noise * np.sign(embeddings)

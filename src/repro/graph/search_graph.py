@@ -1,0 +1,185 @@
+"""The service-search graph: a query–service bipartite graph with edge features.
+
+Node indexing convention used throughout the reproduction:
+
+* query ``q`` occupies node index ``q`` (``0 .. num_queries - 1``),
+* service ``s`` occupies node index ``num_queries + s``.
+
+Edges carry two features (Sec. III): the click-through rate observed in the
+training window for interaction edges, and the (normalised) number of shared
+correlation attributes for correlation edges.  A pair connected by both
+conditions keeps both features on its single edge.
+
+The graph exposes dense adjacency / edge-feature matrices because every model
+in the reproduction performs full-graph message passing on laptop-scale data;
+head-only and tail-only views (the "head graph" and "tail graph" the paper
+organises in advance for adaptive encoding) are provided as masked copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class GraphStatistics:
+    """Node / edge counts mirroring Table II of the paper."""
+
+    name: str
+    head_nodes: int
+    head_edges: int
+    tail_nodes: int
+    tail_edges: int
+    intention_nodes: int
+    intention_edges: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "dataset": self.name,
+            "head_nodes": self.head_nodes,
+            "head_edges": self.head_edges,
+            "tail_nodes": self.tail_nodes,
+            "tail_edges": self.tail_edges,
+            "intention_nodes": self.intention_nodes,
+            "intention_edges": self.intention_edges,
+        }
+
+
+class ServiceSearchGraph:
+    """Dense representation of the query–service graph with edge features."""
+
+    def __init__(
+        self,
+        num_queries: int,
+        num_services: int,
+        adjacency: np.ndarray,
+        ctr: np.ndarray,
+        correlation: np.ndarray,
+        query_attributes: Dict[str, np.ndarray],
+        service_attributes: Dict[str, np.ndarray],
+        head_query_ids: Sequence[int],
+        name: str = "",
+    ) -> None:
+        total = num_queries + num_services
+        for matrix, label in ((adjacency, "adjacency"), (ctr, "ctr"), (correlation, "correlation")):
+            if matrix.shape != (total, total):
+                raise ValueError(f"{label} matrix must have shape ({total}, {total}), got {matrix.shape}")
+        self.num_queries = num_queries
+        self.num_services = num_services
+        self.num_nodes = total
+        self.adjacency = adjacency.astype(np.float64)
+        self.ctr = ctr.astype(np.float64)
+        self.correlation = correlation.astype(np.float64)
+        self.query_attributes = {k: np.asarray(v, dtype=np.int64) for k, v in query_attributes.items()}
+        self.service_attributes = {k: np.asarray(v, dtype=np.int64) for k, v in service_attributes.items()}
+        self.head_query_ids = np.array(sorted(set(int(q) for q in head_query_ids)), dtype=np.int64)
+        tail = sorted(set(range(num_queries)) - set(self.head_query_ids.tolist()))
+        self.tail_query_ids = np.array(tail, dtype=np.int64)
+        self.name = name
+        self._head_adjacency: Optional[np.ndarray] = None
+        self._tail_adjacency: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Node index helpers
+    # ------------------------------------------------------------------ #
+    def query_node(self, query_ids: Sequence[int]) -> np.ndarray:
+        """Map query ids to node indices."""
+        return np.asarray(query_ids, dtype=np.int64)
+
+    def service_node(self, service_ids: Sequence[int]) -> np.ndarray:
+        """Map service ids to node indices."""
+        return np.asarray(service_ids, dtype=np.int64) + self.num_queries
+
+    def is_query_node(self, node_ids: Sequence[int]) -> np.ndarray:
+        return np.asarray(node_ids) < self.num_queries
+
+    # ------------------------------------------------------------------ #
+    # Edge views
+    # ------------------------------------------------------------------ #
+    def edge_feature_stack(self) -> np.ndarray:
+        """Return edge features as an ``(N, N, 2)`` array: [ctr, correlation]."""
+        return np.stack([self.ctr, self.correlation], axis=-1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected query–service edges."""
+        return int(self.adjacency.sum()) // 2
+
+    def degree(self) -> np.ndarray:
+        """Node degrees under the full adjacency."""
+        return self.adjacency.sum(axis=1)
+
+    def neighbor_lists(self) -> List[np.ndarray]:
+        """Return, for every node, the array of its neighbour node indices."""
+        return [np.flatnonzero(self.adjacency[node]) for node in range(self.num_nodes)]
+
+    # ------------------------------------------------------------------ #
+    # Head / tail views for adaptive encoding
+    # ------------------------------------------------------------------ #
+    def _slice_adjacency(self, query_ids: np.ndarray) -> np.ndarray:
+        """Keep only edges whose query endpoint belongs to ``query_ids``."""
+        keep = np.zeros(self.num_nodes, dtype=bool)
+        keep[query_ids] = True
+        keep[self.num_queries:] = True  # services stay in both views
+        mask = np.zeros_like(self.adjacency)
+        query_rows = np.flatnonzero(keep[: self.num_queries])
+        mask[query_rows, :] = self.adjacency[query_rows, :]
+        mask[:, query_rows] = self.adjacency[:, query_rows]
+        # Service–service entries do not exist in a bipartite graph, but be
+        # explicit: zero any edge whose query endpoint was dropped.
+        dropped = np.flatnonzero(~keep[: self.num_queries])
+        mask[dropped, :] = 0.0
+        mask[:, dropped] = 0.0
+        return mask
+
+    @property
+    def head_adjacency(self) -> np.ndarray:
+        """Adjacency restricted to edges incident to head queries."""
+        if self._head_adjacency is None:
+            self._head_adjacency = self._slice_adjacency(self.head_query_ids)
+        return self._head_adjacency
+
+    @property
+    def tail_adjacency(self) -> np.ndarray:
+        """Adjacency restricted to edges incident to tail queries."""
+        if self._tail_adjacency is None:
+            self._tail_adjacency = self._slice_adjacency(self.tail_query_ids)
+        return self._tail_adjacency
+
+    def head_node_ids(self) -> np.ndarray:
+        """Head query nodes plus every service node (services live in both views)."""
+        return np.concatenate([self.head_query_ids, np.arange(self.num_queries, self.num_nodes)])
+
+    def tail_node_ids(self) -> np.ndarray:
+        """Tail query nodes plus every service node."""
+        return np.concatenate([self.tail_query_ids, np.arange(self.num_queries, self.num_nodes)])
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table II)
+    # ------------------------------------------------------------------ #
+    def statistics(self, intention_nodes: int = 0, intention_edges: int = 0) -> GraphStatistics:
+        """Compute Table II style statistics for this graph."""
+        head_edges = int(self.head_adjacency.sum()) // 2
+        tail_edges = int(self.tail_adjacency.sum()) // 2
+        head_degree = self.head_adjacency.sum(axis=1)
+        tail_degree = self.tail_adjacency.sum(axis=1)
+        head_nodes = int((head_degree > 0).sum())
+        tail_nodes = int((tail_degree > 0).sum())
+        return GraphStatistics(
+            name=self.name,
+            head_nodes=head_nodes,
+            head_edges=head_edges,
+            tail_nodes=tail_nodes,
+            tail_edges=tail_edges,
+            intention_nodes=intention_nodes,
+            intention_edges=intention_edges,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceSearchGraph(name={self.name!r}, queries={self.num_queries}, "
+            f"services={self.num_services}, edges={self.num_edges})"
+        )

@@ -1,0 +1,17 @@
+"""Models: GARCIA (the paper's contribution) and the five compared baselines."""
+
+from repro.models.base import RankingModel, NodeFeatureEncoder
+from repro.models.garcia import GARCIA, GarciaConfig
+from repro.models.baselines import WideAndDeep, LightGCN, KGAT, SGL, SimGCL
+
+__all__ = [
+    "RankingModel",
+    "NodeFeatureEncoder",
+    "GARCIA",
+    "GarciaConfig",
+    "WideAndDeep",
+    "LightGCN",
+    "KGAT",
+    "SGL",
+    "SimGCL",
+]

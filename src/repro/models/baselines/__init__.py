@@ -1,0 +1,18 @@
+"""Baseline models compared against GARCIA in Table III / Table IV.
+
+The paper compares against three families (Sec. V-B.1), all re-implemented
+here on the shared autograd / graph substrate and — as in the paper —
+extended to consume the node and edge attributes of the service-search graph:
+
+* a general deep model: Wide&Deep;
+* GNN-based models: LightGCN and KGAT;
+* GNN models with self-supervised learning: SGL and SimGCL.
+"""
+
+from repro.models.baselines.wide_deep import WideAndDeep
+from repro.models.baselines.lightgcn import LightGCN
+from repro.models.baselines.kgat import KGAT
+from repro.models.baselines.sgl import SGL
+from repro.models.baselines.simgcl import SimGCL
+
+__all__ = ["WideAndDeep", "LightGCN", "KGAT", "SGL", "SimGCL"]

@@ -1,0 +1,68 @@
+"""SGL baseline: self-supervised graph learning with stochastic augmentations.
+
+SGL keeps the LightGCN backbone and adds an auxiliary InfoNCE loss between
+two stochastically augmented views of the graph (edge dropout here).  The
+paper's discussion (Sec. V-C) attributes SGL's weak industrial performance to
+exactly this randomness: on noisy graphs, random augmentations easily destroy
+the informative structure, which is why GARCIA builds its contrastive pairs
+from explicit relations instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.data.loaders import InteractionBatch
+from repro.graph.sampling import dropout_adjacency
+from repro.graph.search_graph import ServiceSearchGraph
+from repro.models.baselines.lightgcn import LightGCN, normalized_adjacency
+
+
+class SGL(LightGCN):
+    """LightGCN + contrastive learning over edge-dropout augmented views."""
+
+    name = "SGL"
+
+    def __init__(self, graph: ServiceSearchGraph, embedding_dim: int = 64, num_layers: int = 2,
+                 edge_dropout: float = 0.1, ssl_weight: float = 0.1, temperature: float = 0.2,
+                 seed: int = 0) -> None:
+        super().__init__(graph, embedding_dim=embedding_dim, num_layers=num_layers, seed=seed)
+        if not 0.0 <= edge_dropout < 1.0:
+            raise ValueError("edge_dropout must be in [0, 1)")
+        if ssl_weight < 0:
+            raise ValueError("ssl_weight must be non-negative")
+        self.edge_dropout = edge_dropout
+        self.ssl_weight = ssl_weight
+        self.temperature = temperature
+        self._augment_rng = np.random.default_rng(seed + 1)
+
+    # ------------------------------------------------------------------ #
+    # Augmented views
+    # ------------------------------------------------------------------ #
+    def _augmented_readout(self) -> Tensor:
+        dropped = dropout_adjacency(self.graph.adjacency, self.edge_dropout, rng=self._augment_rng)
+        operator = Tensor(normalized_adjacency(dropped))
+        return self.readout(self.layer_outputs(propagation=operator))
+
+    def _ssl_loss(self, batch: InteractionBatch) -> Tensor:
+        view_a = self._augmented_readout()
+        view_b = self._augmented_readout()
+        nodes = np.unique(
+            np.concatenate([batch.query_ids, self.graph.service_node(batch.service_ids)])
+        )
+        anchors = view_a.index_select(nodes, axis=0)
+        positives = view_b.index_select(nodes, axis=0)
+        return F.info_nce(anchors, positives, temperature=self.temperature)
+
+    # ------------------------------------------------------------------ #
+    # RankingModel interface
+    # ------------------------------------------------------------------ #
+    def training_loss(self, batch: InteractionBatch) -> Tensor:
+        supervised = super().training_loss(batch)
+        if self.ssl_weight == 0.0:
+            return supervised
+        return supervised + self.ssl_weight * self._ssl_loss(batch)

@@ -1,0 +1,75 @@
+"""SimGCL baseline: augmentation-free contrastive learning with noise views.
+
+SimGCL drops graph augmentations entirely and instead perturbs each layer's
+embeddings with small sign-aligned uniform noise, contrasting the two noisy
+views with InfoNCE on top of the LightGCN backbone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.data.loaders import InteractionBatch
+from repro.graph.search_graph import ServiceSearchGraph
+from repro.models.baselines.lightgcn import LightGCN
+
+
+class SimGCL(LightGCN):
+    """LightGCN + InfoNCE between noise-perturbed embedding views."""
+
+    name = "SimGCL"
+
+    def __init__(self, graph: ServiceSearchGraph, embedding_dim: int = 64, num_layers: int = 2,
+                 noise_magnitude: float = 0.1, ssl_weight: float = 0.1, temperature: float = 0.2,
+                 seed: int = 0) -> None:
+        super().__init__(graph, embedding_dim=embedding_dim, num_layers=num_layers, seed=seed)
+        if noise_magnitude < 0:
+            raise ValueError("noise_magnitude must be non-negative")
+        if ssl_weight < 0:
+            raise ValueError("ssl_weight must be non-negative")
+        self.noise_magnitude = noise_magnitude
+        self.ssl_weight = ssl_weight
+        self.temperature = temperature
+        self._noise_rng = np.random.default_rng(seed + 1)
+
+    # ------------------------------------------------------------------ #
+    # Noise-perturbed views
+    # ------------------------------------------------------------------ #
+    def _noisy_readout(self) -> Tensor:
+        """LightGCN propagation with per-layer directional noise injection."""
+        outputs: List[Tensor] = [self.feature_encoder()]
+        current = outputs[0]
+        for _ in range(self.num_layers):
+            current = self._propagation @ current
+            noise = self._noise_rng.uniform(0.0, 1.0, size=current.shape)
+            noise /= np.linalg.norm(noise, axis=-1, keepdims=True) + 1e-12
+            signs = np.sign(current.numpy())
+            current = current + Tensor(self.noise_magnitude * noise * signs)
+            outputs.append(current)
+        total = outputs[0]
+        for output in outputs[1:]:
+            total = total + output
+        return total * (1.0 / len(outputs))
+
+    def _ssl_loss(self, batch: InteractionBatch) -> Tensor:
+        view_a = self._noisy_readout()
+        view_b = self._noisy_readout()
+        nodes = np.unique(
+            np.concatenate([batch.query_ids, self.graph.service_node(batch.service_ids)])
+        )
+        anchors = view_a.index_select(nodes, axis=0)
+        positives = view_b.index_select(nodes, axis=0)
+        return F.info_nce(anchors, positives, temperature=self.temperature)
+
+    # ------------------------------------------------------------------ #
+    # RankingModel interface
+    # ------------------------------------------------------------------ #
+    def training_loss(self, batch: InteractionBatch) -> Tensor:
+        supervised = super().training_loss(batch)
+        if self.ssl_weight == 0.0:
+            return supervised
+        return supervised + self.ssl_weight * self._ssl_loss(batch)

@@ -1,0 +1,32 @@
+"""GARCIA: the paper's primary contribution.
+
+Sub-modules:
+
+* :mod:`config` — :class:`GarciaConfig`, every hyper-parameter of the paper
+  (α, β, τ, L, H, adaptive vs shared encoding, CL granularity toggles).
+* :mod:`encoder` — the attention-based GNN layer of Eq. 2 and the adaptive
+  (dual head/tail) encoder.
+* :mod:`intention_encoder` — bottom-up aggregation over the intention forest
+  (Eq. 3).
+* :mod:`anchor_pairs` — head–tail anchor-pair mining for knowledge transfer.
+* :mod:`contrastive` — the multi-granularity contrastive losses: KTCL
+  (Eq. 4–6), SECL (Eq. 7–8) and IGCL (Eq. 9–10).
+* :mod:`model` — the full model with pre-training (Eq. 11) and fine-tuning
+  (Eq. 12–13) objectives.
+"""
+
+from repro.models.garcia.config import GarciaConfig
+from repro.models.garcia.encoder import GarciaGNNLayer, GraphEncoder
+from repro.models.garcia.intention_encoder import IntentionEncoder
+from repro.models.garcia.anchor_pairs import mine_anchor_pairs, AnchorPair
+from repro.models.garcia.model import GARCIA
+
+__all__ = [
+    "GarciaConfig",
+    "GarciaGNNLayer",
+    "GraphEncoder",
+    "IntentionEncoder",
+    "mine_anchor_pairs",
+    "AnchorPair",
+    "GARCIA",
+]

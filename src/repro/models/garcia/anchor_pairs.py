@@ -1,0 +1,111 @@
+"""Head–tail anchor-pair mining for knowledge-transfer contrastive learning.
+
+For every tail query GARCIA picks one head query to serve as the positive in
+KTCL (Eq. 4).  The paper's criteria (Sec. IV-B.1):
+
+1. the head query has the highest semantic-level relevance with the tail
+   query — with no raw query text available, semantic relevance is computed
+   from intention proximity in the forest (same leaf ≫ shared ancestors ≫
+   same tree) plus correlation-attribute overlap;
+2. the pair shares correlation attributes (city / brand / category);
+3. among equally relevant candidates, the head query with the most exposure
+   (page views) wins.
+
+Tail queries for which no head query satisfies the sharing constraint simply
+get no anchor and do not contribute to the KTCL query loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.schema import CORRELATION_ATTRIBUTES, ServiceSearchDataset
+from repro.data.splits import HeadTailSplit
+from repro.graph.intention_tree import IntentionForest
+
+
+@dataclass
+class AnchorPair:
+    """One mined ``<q_tail, p_head>`` anchor pair with its mining diagnostics."""
+
+    tail_query_id: int
+    head_query_id: int
+    semantic_score: float
+    shared_attributes: int
+
+
+def _semantic_relevance(
+    tail_intention: int,
+    head_intention: int,
+    forest: IntentionForest,
+) -> float:
+    """Intention-proximity component of semantic relevance."""
+    if tail_intention == head_intention:
+        return 3.0
+    tail_ancestors = set(forest.ancestors(tail_intention))
+    head_ancestors = set(forest.ancestors(head_intention))
+    shared = len(tail_ancestors & head_ancestors)
+    if shared > 0:
+        return 1.0 + 0.5 * shared
+    if forest.tree(tail_intention) == forest.tree(head_intention):
+        return 0.5
+    return 0.0
+
+
+def mine_anchor_pairs(
+    dataset: ServiceSearchDataset,
+    head_tail: HeadTailSplit,
+    forest: IntentionForest,
+    min_shared_attributes: int = 1,
+) -> Dict[int, AnchorPair]:
+    """Mine one head anchor per tail query where the criteria allow it.
+
+    Returns a mapping ``tail_query_id -> AnchorPair``.
+    """
+    if min_shared_attributes < 0:
+        raise ValueError("min_shared_attributes must be non-negative")
+    head_queries = [dataset.queries[q] for q in sorted(head_tail.head_query_ids)]
+    pairs: Dict[int, AnchorPair] = {}
+    for tail_id in sorted(head_tail.tail_query_ids):
+        tail_query = dataset.queries[tail_id]
+        best: Optional[AnchorPair] = None
+        best_key = None
+        for head_query in head_queries:
+            shared = sum(
+                1
+                for key in CORRELATION_ATTRIBUTES
+                if tail_query.attributes.get(key) is not None
+                and tail_query.attributes.get(key) == head_query.attributes.get(key)
+            )
+            if shared < min_shared_attributes:
+                continue
+            score = _semantic_relevance(tail_query.intention_id, head_query.intention_id, forest)
+            score += 0.25 * shared
+            # Rank by (semantic score, exposure); deterministic tie-break on id.
+            key = (score, head_query.frequency, -head_query.query_id)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = AnchorPair(
+                    tail_query_id=tail_id,
+                    head_query_id=head_query.query_id,
+                    semantic_score=float(score),
+                    shared_attributes=int(shared),
+                )
+        if best is not None:
+            pairs[tail_id] = best
+    return pairs
+
+
+def anchor_mapping(pairs: Dict[int, AnchorPair]) -> Dict[int, int]:
+    """Reduce mined pairs to a plain ``tail_query_id -> head_query_id`` mapping."""
+    return {tail: pair.head_query_id for tail, pair in pairs.items()}
+
+
+def coverage(pairs: Dict[int, AnchorPair], head_tail: HeadTailSplit) -> float:
+    """Fraction of tail queries that obtained an anchor."""
+    if head_tail.num_tail == 0:
+        return 0.0
+    return len(pairs) / head_tail.num_tail

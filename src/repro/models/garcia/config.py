@@ -1,0 +1,105 @@
+"""Configuration of the GARCIA model.
+
+Default values follow the implementation details of the paper (Sec. V-B.3):
+embedding size 64, L = 2 GNN layers, H = 5 intention levels, α = 0.1,
+β = 0.01, τ = 0.1, Adam with learning rate 1e-4 (the learning rate itself is
+owned by the trainer).  The extra switches (``use_*``, ``share_encoder``)
+drive the ablations of Fig. 3 and Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass
+class GarciaConfig:
+    """Hyper-parameters of GARCIA."""
+
+    embedding_dim: int = 64
+    num_gnn_layers: int = 2
+    intention_levels: int = 5
+
+    # Pre-training loss weights (Eq. 11) and contrastive temperature.
+    alpha: float = 0.1
+    beta: float = 0.01
+    temperature: float = 0.1
+
+    # Ablation switches.
+    share_encoder: bool = False      # GARCIA-Share (Fig. 3)
+    use_ktcl: bool = True            # knowledge-transfer CL (Eq. 6)
+    use_secl: bool = True            # structure-enhancement CL (Eq. 8)
+    use_igcl: bool = True            # intention-generalisation CL (Eq. 10)
+
+    # Sampling caps keeping the contrastive terms cheap per batch.
+    igcl_negatives: int = 8
+    max_contrastive_entities: int = 96
+
+    # Anchor-pair mining.
+    anchor_min_shared_attributes: int = 1
+
+    # Misc.
+    intention_activation: str = "tanh"
+    leaky_relu_slope: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_gnn_layers < 1:
+            raise ValueError("num_gnn_layers must be at least 1")
+        if not 1 <= self.intention_levels <= 5:
+            raise ValueError("intention_levels must be between 1 and 5")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if self.igcl_negatives < 1:
+            raise ValueError("igcl_negatives must be at least 1")
+        if self.max_contrastive_entities < 1:
+            raise ValueError("max_contrastive_entities must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Ablation helpers used by the Fig. 3 / Fig. 4 experiments
+    # ------------------------------------------------------------------ #
+    def without(self, *modules: str) -> "GarciaConfig":
+        """Return a copy with the given CL granularities disabled.
+
+        ``modules`` may contain ``"ktcl"``, ``"secl"``, ``"igcl"`` or
+        ``"all"`` (disable every contrastive term).
+        """
+        updates: Dict[str, bool] = {}
+        for module in modules:
+            key = module.lower()
+            if key == "all":
+                updates.update(use_ktcl=False, use_secl=False, use_igcl=False)
+            elif key in ("ktcl", "kt"):
+                updates["use_ktcl"] = False
+            elif key in ("secl", "se"):
+                updates["use_secl"] = False
+            elif key in ("igcl", "ig"):
+                updates["use_igcl"] = False
+            else:
+                raise ValueError(f"unknown contrastive module {module!r}")
+        return replace(self, **updates)
+
+    def shared(self) -> "GarciaConfig":
+        """Return the GARCIA-Share variant (single encoder for head and tail)."""
+        return replace(self, share_encoder=True)
+
+    def variant_name(self) -> str:
+        """Human-readable name reflecting the active ablation switches."""
+        if not (self.use_ktcl or self.use_secl or self.use_igcl):
+            return "GARCIA w.o. ALL"
+        disabled = []
+        if not self.use_igcl:
+            disabled.append("IG")
+        if not self.use_secl:
+            disabled.append("SE")
+        if not self.use_ktcl:
+            disabled.append("KT")
+        base = "GARCIA-Share" if self.share_encoder else "GARCIA"
+        if disabled:
+            return f"{base} w.o. {'&'.join(disabled)}"
+        return base

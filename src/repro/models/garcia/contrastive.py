@@ -1,0 +1,165 @@
+"""Multi-granularity contrastive losses: KTCL, SECL and IGCL.
+
+All three granularities share the ``-log softmax(cos/τ)`` InfoNCE structure
+and differ only in how anchors, positives and negatives are constructed:
+
+* **KTCL** (knowledge transfer, Eq. 4–6): tail-query anchors pull towards
+  their mined head-query positives against in-batch head negatives; on the
+  service side the head-encoded and tail-encoded views of the same service
+  are aligned symmetrically.
+* **SECL** (structure enhancement, Eq. 7–8): for every GNN layer ``l``, the
+  layer-``l`` representation of a node is the positive of its own layer-0
+  representation against the other in-batch nodes.
+* **IGCL** (intention generalisation, Eq. 9–10): a query/service pulls
+  towards every intention on its parent chain, against level-matched
+  negatives sampled from the same tree (hard) and other trees (easy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.graph.intention_tree import IntentionForest
+
+
+# --------------------------------------------------------------------- #
+# KTCL — knowledge transfer oriented CL
+# --------------------------------------------------------------------- #
+def ktcl_query_loss(
+    tail_repr: Tensor,
+    anchor_head_repr: Tensor,
+    batch_head_repr: Optional[Tensor],
+    temperature: float,
+) -> Tensor:
+    """Eq. 4: pull each tail query towards its head anchor.
+
+    ``batch_head_repr`` provides the in-batch negative pool ``B_head``; when
+    the current batch contains no head queries, the anchors' own heads act as
+    the (in-batch) negative pool, which degenerates to standard in-batch
+    InfoNCE.
+    """
+    if batch_head_repr is None or batch_head_repr.shape[0] == 0:
+        return F.info_nce(tail_repr, anchor_head_repr, temperature=temperature)
+    return F.info_nce(tail_repr, anchor_head_repr, negatives=batch_head_repr, temperature=temperature)
+
+
+def ktcl_service_loss(
+    head_service_repr: Tensor,
+    tail_service_repr: Tensor,
+    temperature: float,
+) -> Tensor:
+    """Eq. 5: symmetric alignment of the two encodings of the same service."""
+    forward = F.info_nce(head_service_repr, tail_service_repr, temperature=temperature)
+    backward = F.info_nce(tail_service_repr, head_service_repr, temperature=temperature)
+    return forward + backward
+
+
+# --------------------------------------------------------------------- #
+# SECL — structure enhancement oriented CL
+# --------------------------------------------------------------------- #
+def secl_loss(layer_outputs: Sequence[Tensor], node_indices: np.ndarray, temperature: float) -> Tensor:
+    """Eq. 7: align every layer's representation with the layer-0 anchor.
+
+    Parameters
+    ----------
+    layer_outputs:
+        ``[Z^(0), Z^(1), …, Z^(L)]`` full-graph tensors from one encoder.
+    node_indices:
+        Node indices (into the graph) of the in-batch entities.
+    """
+    if len(layer_outputs) < 2:
+        raise ValueError("SECL needs at least one propagation layer")
+    node_indices = np.asarray(node_indices, dtype=np.int64)
+    if node_indices.size == 0:
+        return Tensor(0.0)
+    anchors = layer_outputs[0].index_select(node_indices, axis=0)
+    total: Optional[Tensor] = None
+    num_layers = len(layer_outputs) - 1
+    for layer in range(1, len(layer_outputs)):
+        positives = layer_outputs[layer].index_select(node_indices, axis=0)
+        term = F.info_nce(anchors, positives, temperature=temperature)
+        total = term if total is None else total + term
+    return total * (1.0 / num_layers)
+
+
+# --------------------------------------------------------------------- #
+# IGCL — intention generalisation oriented CL
+# --------------------------------------------------------------------- #
+def build_igcl_pairs(
+    entity_intentions: Sequence[int],
+    forest: IntentionForest,
+    num_negatives: int,
+    rng: np.random.Generator,
+    max_level: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Expand entities into (anchor_row, positive_intention, negatives, weight) tuples.
+
+    For entity ``e`` attached to intention ``i`` the positives are every
+    intention of ``parent_chain(i)`` (truncated to ``max_level`` levels); each
+    pair receives weight ``1 / |chain|`` so every entity contributes equally
+    (the ``1/|P_{q,i}|`` factor of Eq. 9).  Negatives mix same-tree (hard) and
+    other-tree (easy) intentions of the matching level.
+    """
+    anchor_rows: List[int] = []
+    positive_ids: List[int] = []
+    negative_ids: List[np.ndarray] = []
+    weights: List[float] = []
+    for row, intention_id in enumerate(entity_intentions):
+        chain = forest.parent_chain(int(intention_id), max_level=max_level)
+        if not chain:
+            continue
+        weight = 1.0 / len(chain)
+        for positive in chain:
+            negatives = forest.sample_negatives(positive, num_negatives, rng)
+            if negatives.size == 0:
+                continue
+            if negatives.size < num_negatives:
+                negatives = np.resize(negatives, num_negatives)
+            anchor_rows.append(row)
+            positive_ids.append(int(positive))
+            negative_ids.append(negatives)
+            weights.append(weight)
+    if not anchor_rows:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros((0, num_negatives), dtype=np.int64), np.zeros(0)
+    return (
+        np.asarray(anchor_rows, dtype=np.int64),
+        np.asarray(positive_ids, dtype=np.int64),
+        np.stack(negative_ids).astype(np.int64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+def igcl_loss(
+    entity_repr: Tensor,
+    intention_repr: Tensor,
+    anchor_rows: np.ndarray,
+    positive_ids: np.ndarray,
+    negative_ids: np.ndarray,
+    weights: np.ndarray,
+    temperature: float,
+) -> Tensor:
+    """Eq. 9: weighted InfoNCE of entities against their intention chains."""
+    if anchor_rows.size == 0:
+        return Tensor(0.0)
+    num_pairs, num_negatives = negative_ids.shape
+    anchors = F.l2_normalize(entity_repr.index_select(anchor_rows, axis=0), axis=-1)
+    positives = F.l2_normalize(intention_repr.index_select(positive_ids, axis=0), axis=-1)
+    negatives = F.l2_normalize(
+        intention_repr.index_select(negative_ids.reshape(-1), axis=0), axis=-1
+    ).reshape(num_pairs, num_negatives, -1)
+
+    positive_logits = (anchors * positives).sum(axis=-1, keepdims=True) / temperature
+    anchor_expanded = anchors.reshape(num_pairs, 1, anchors.shape[-1])
+    negative_logits = (anchor_expanded * negatives).sum(axis=-1) / temperature
+    logits = Tensor.concat([positive_logits, negative_logits], axis=1)
+    log_probs = F.log_softmax(logits, axis=-1)
+    per_pair = -log_probs[:, 0]
+    weighted = per_pair * Tensor(weights)
+    # Normalise by the number of distinct entities (each entity's chain sums to weight 1).
+    num_entities = max(len(np.unique(anchor_rows)), 1)
+    return weighted.sum() * (1.0 / num_entities)

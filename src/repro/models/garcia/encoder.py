@@ -1,0 +1,120 @@
+"""GARCIA's attention-based GNN encoder (Eq. 2).
+
+One :class:`GarciaGNNLayer` performs the "aggregate" and "update" steps:
+
+* **aggregate** — every query/service node attends over its graph neighbours;
+  the attention logit combines transformed node representations with the edge
+  features (CTR and correlation strength), and the attended message is
+  ``Tanh(W_A [Σ_v α_{q,v} z_v || Σ_v α_{q,v} e_{q,v}])``;
+* **update** — ``z' = ReLU(W_U [z || m])``.
+
+The :class:`GraphEncoder` stacks ``L`` layers and performs the mean "readout"
+over all layer outputs.  GARCIA instantiates two encoders (head / tail) with
+separate parameters — the adaptive encoding of Sec. IV-A — unless the
+GARCIA-Share ablation is requested.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import Linear, Module, Parameter, init
+
+
+def leaky_relu(x: Tensor, slope: float = 0.2) -> Tensor:
+    """Leaky ReLU built from two ReLUs (keeps the op set of the engine small)."""
+    return x.relu() - slope * (-x).relu()
+
+
+class GarciaGNNLayer(Module):
+    """One aggregate + update step of Eq. 2 with edge-feature-aware attention."""
+
+    def __init__(self, embedding_dim: int, num_edge_features: int = 2,
+                 leaky_slope: float = 0.2, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.embedding_dim = embedding_dim
+        self.num_edge_features = num_edge_features
+        self.leaky_slope = leaky_slope
+        generator = rng if rng is not None else np.random.default_rng()
+        # Attention parameters (GAT-style, plus an edge-feature term).
+        self.attention_transform = Linear(embedding_dim, embedding_dim, bias=False, rng=generator)
+        self.attention_source = Parameter(init.xavier_uniform((embedding_dim, 1), rng=generator))
+        self.attention_target = Parameter(init.xavier_uniform((embedding_dim, 1), rng=generator))
+        self.attention_edge = Parameter(init.xavier_uniform((num_edge_features, 1), rng=generator))
+        # Aggregate (W_A) and update (W_U) transforms of Eq. 2.
+        self.aggregate_transform = Linear(embedding_dim + num_edge_features, embedding_dim, rng=generator)
+        self.update_transform = Linear(2 * embedding_dim, embedding_dim, rng=generator)
+
+    def attention_weights(self, representations: Tensor, adjacency: Tensor,
+                          edge_features: List[Tensor]) -> Tensor:
+        """Neighbour attention matrix ``α`` with rows summing to one over neighbours."""
+        transformed = self.attention_transform(representations)
+        source_scores = transformed @ self.attention_source        # (N, 1)
+        target_scores = transformed @ self.attention_target        # (N, 1)
+        num_nodes = representations.shape[0]
+        logits = source_scores + target_scores.reshape(1, num_nodes)
+        edge_weights = self.attention_edge.reshape(-1)
+        for index, feature in enumerate(edge_features):
+            logits = logits + feature * edge_weights[index]
+        logits = leaky_relu(logits, self.leaky_slope)
+        # Mask non-edges with a large negative constant, then renormalise.
+        mask_bias = (adjacency - 1.0) * 1e9
+        attention = F.softmax(logits + mask_bias, axis=1)
+        return attention * adjacency
+
+    def forward(self, representations: Tensor, adjacency: Tensor,
+                edge_features: List[Tensor]) -> Tensor:
+        attention = self.attention_weights(representations, adjacency, edge_features)
+        message_nodes = attention @ representations                 # Σ_v α z_v
+        message_edges = [
+            (attention * feature).sum(axis=1, keepdims=True) for feature in edge_features
+        ]                                                           # Σ_v α e_{q,v}
+        message = Tensor.concat([message_nodes] + message_edges, axis=1)
+        message = self.aggregate_transform(message).tanh()
+        updated = Tensor.concat([representations, message], axis=1)
+        return self.update_transform(updated).relu()
+
+
+class GraphEncoder(Module):
+    """Stack of :class:`GarciaGNNLayer` with mean readout over layers."""
+
+    def __init__(self, embedding_dim: int, num_layers: int = 2, num_edge_features: int = 2,
+                 leaky_slope: float = 0.2, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be at least 1")
+        self.num_layers = num_layers
+        self._layers: List[GarciaGNNLayer] = []
+        for index in range(num_layers):
+            layer = GarciaGNNLayer(
+                embedding_dim,
+                num_edge_features=num_edge_features,
+                leaky_slope=leaky_slope,
+                rng=rng,
+            )
+            self.register_module(f"gnn_layer_{index}", layer)
+            self._layers.append(layer)
+
+    def layer_outputs(self, initial: Tensor, adjacency: Tensor,
+                      edge_features: List[Tensor]) -> List[Tensor]:
+        """Return ``[Z^(0), Z^(1), …, Z^(L)]``."""
+        outputs = [initial]
+        current = initial
+        for layer in self._layers:
+            current = layer(current, adjacency, edge_features)
+            outputs.append(current)
+        return outputs
+
+    def readout(self, layer_outputs: List[Tensor]) -> Tensor:
+        """Mean over all layer representations (the readout of Eq. 2)."""
+        stacked = layer_outputs[0]
+        for output in layer_outputs[1:]:
+            stacked = stacked + output
+        return stacked * (1.0 / len(layer_outputs))
+
+    def forward(self, initial: Tensor, adjacency: Tensor, edge_features: List[Tensor]) -> Tensor:
+        return self.readout(self.layer_outputs(initial, adjacency, edge_features))

@@ -1,0 +1,67 @@
+"""Hierarchical intention encoder (Eq. 3).
+
+Intentions start from a learnable embedding table and are refined by a
+GCN-like bottom-up aggregation over the intention forest:
+
+    z_i^(h+1) = σ(W_T (z_i^(h) + Σ_{v ∈ children(i)} z_v^(h)))
+
+Because aggregation flows from leaves towards roots, after ``H - 1`` steps a
+level-``l`` intention has absorbed information from the ``H - 1`` levels
+beneath it, making the representations hierarchy aware.  The number of levels
+``H`` is the hyper-parameter swept in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.graph.intention_tree import IntentionForest
+from repro.nn import Embedding, Linear, Module
+
+
+class IntentionEncoder(Module):
+    """Bottom-up encoder over an :class:`~repro.graph.IntentionForest`."""
+
+    def __init__(
+        self,
+        forest: IntentionForest,
+        embedding_dim: int,
+        num_levels: int = 5,
+        activation: str = "tanh",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_levels < 1:
+            raise ValueError("num_levels must be at least 1")
+        if activation not in ("tanh", "sigmoid", "relu"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.forest = forest
+        self.embedding_dim = embedding_dim
+        self.num_levels = num_levels
+        self.activation = activation
+        self.embedding = Embedding(forest.num_intentions, embedding_dim, rng=rng)
+        self.transform = Linear(embedding_dim, embedding_dim, rng=rng)
+        # Dense child-aggregation operator: row i sums the embeddings of i's children.
+        child_matrix = np.zeros((forest.num_intentions, forest.num_intentions), dtype=np.float64)
+        for intention_id in range(forest.num_intentions):
+            for child in forest.children(intention_id):
+                child_matrix[intention_id, child] = 1.0
+        self._child_matrix = Tensor(child_matrix)
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "tanh":
+            return x.tanh()
+        if self.activation == "sigmoid":
+            return x.sigmoid()
+        return x.relu()
+
+    def forward(self) -> Tensor:
+        """Return hierarchy-aware representations ``z^T`` for every intention."""
+        representations = self.embedding(np.arange(self.forest.num_intentions))
+        for _ in range(self.num_levels - 1):
+            aggregated = representations + self._child_matrix @ representations
+            representations = self._activate(self.transform(aggregated))
+        return representations

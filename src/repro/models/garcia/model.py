@@ -1,0 +1,290 @@
+"""The complete GARCIA model.
+
+Composition (Fig. 2 of the paper):
+
+* a shared :class:`~repro.models.base.NodeFeatureEncoder` producing ``Z^(0)``
+  from node ids and correlation attributes;
+* two :class:`~repro.models.garcia.encoder.GraphEncoder` instances — the
+  *adaptive encoding* — one operating on the head view of the service-search
+  graph, one on the tail view (a single shared encoder over the full graph in
+  the GARCIA-Share ablation);
+* an :class:`~repro.models.garcia.intention_encoder.IntentionEncoder` over
+  the intention forest;
+* the multi-granularity contrastive losses (KTCL / SECL / IGCL) forming the
+  pre-training objective ``L_P = L_KTCL + α L_SECL + β L_IGCL`` (Eq. 11);
+* a two-layer MLP click head for fine-tuning with binary cross entropy
+  (Eq. 12–13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.loaders import InteractionBatch
+from repro.data.schema import ServiceSearchDataset
+from repro.data.splits import HeadTailSplit
+from repro.graph.intention_tree import IntentionForest
+from repro.graph.search_graph import ServiceSearchGraph
+from repro.models.base import NodeFeatureEncoder, RankingModel, ScoringHead
+from repro.models.garcia import contrastive
+from repro.models.garcia.anchor_pairs import anchor_mapping, mine_anchor_pairs
+from repro.models.garcia.config import GarciaConfig
+from repro.models.garcia.encoder import GraphEncoder
+from repro.models.garcia.intention_encoder import IntentionEncoder
+from repro.nn import BCELoss
+
+
+class GARCIA(RankingModel):
+    """GrAph based service seaRch with multi-granularity ContrastIve leArning."""
+
+    name = "GARCIA"
+
+    def __init__(
+        self,
+        graph: ServiceSearchGraph,
+        forest: IntentionForest,
+        query_intentions: Sequence[int],
+        service_intentions: Sequence[int],
+        anchor_map: Dict[int, int],
+        config: Optional[GarciaConfig] = None,
+    ) -> None:
+        super().__init__(graph)
+        self.config = config if config is not None else GarciaConfig()
+        self.forest = forest
+        self.name = self.config.variant_name()
+        self._rng = np.random.default_rng(self.config.seed)
+        dim = self.config.embedding_dim
+
+        self.feature_encoder = NodeFeatureEncoder(graph, dim, rng=self._rng)
+        self.head_encoder = GraphEncoder(
+            dim, num_layers=self.config.num_gnn_layers,
+            leaky_slope=self.config.leaky_relu_slope, rng=self._rng,
+        )
+        if self.config.share_encoder:
+            # GARCIA-Share: head and tail reuse the same encoder object.  Bypass
+            # module registration so its parameters are not collected twice.
+            object.__setattr__(self, "tail_encoder", self.head_encoder)
+        else:
+            self.tail_encoder = GraphEncoder(
+                dim, num_layers=self.config.num_gnn_layers,
+                leaky_slope=self.config.leaky_relu_slope, rng=self._rng,
+            )
+        self.intention_encoder = IntentionEncoder(
+            forest, dim, num_levels=self.config.intention_levels,
+            activation=self.config.intention_activation, rng=self._rng,
+        )
+        self.click_head = ScoringHead(dim, rng=self._rng)
+        self._bce = BCELoss()
+
+        # Static graph views as constant tensors.
+        if self.config.share_encoder:
+            head_adjacency = tail_adjacency = graph.adjacency
+        else:
+            head_adjacency = graph.head_adjacency
+            tail_adjacency = graph.tail_adjacency
+        self._head_adjacency = Tensor(head_adjacency)
+        self._tail_adjacency = Tensor(tail_adjacency)
+        self._head_edges = [Tensor(graph.ctr * head_adjacency), Tensor(graph.correlation * head_adjacency)]
+        self._tail_edges = [Tensor(graph.ctr * tail_adjacency), Tensor(graph.correlation * tail_adjacency)]
+
+        # Entity → intention lookups and the head/tail membership mask.
+        self._query_intentions = np.asarray(query_intentions, dtype=np.int64)
+        self._service_intentions = np.asarray(service_intentions, dtype=np.int64)
+        if len(self._query_intentions) != graph.num_queries:
+            raise ValueError("query_intentions must cover every query")
+        if len(self._service_intentions) != graph.num_services:
+            raise ValueError("service_intentions must cover every service")
+        self._is_head_query = np.zeros(graph.num_queries, dtype=bool)
+        self._is_head_query[graph.head_query_ids] = True
+        self._anchor_map = dict(anchor_map)
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(self) -> Tuple[List[Tensor], List[Tensor]]:
+        """Run both encoders; returns per-layer outputs (head view, tail view)."""
+        initial = self.feature_encoder()
+        head_layers = self.head_encoder.layer_outputs(initial, self._head_adjacency, self._head_edges)
+        if self.config.share_encoder:
+            return head_layers, head_layers
+        tail_layers = self.tail_encoder.layer_outputs(initial, self._tail_adjacency, self._tail_edges)
+        return head_layers, tail_layers
+
+    def _readouts(self, head_layers: List[Tensor], tail_layers: List[Tensor]) -> Tuple[Tensor, Tensor]:
+        head_readout = self.head_encoder.readout(head_layers)
+        if self.config.share_encoder:
+            return head_readout, head_readout
+        return head_readout, self.tail_encoder.readout(tail_layers)
+
+    def _pair_representations(
+        self,
+        head_readout: Tensor,
+        tail_readout: Tensor,
+        query_ids: np.ndarray,
+        service_ids: np.ndarray,
+    ) -> Tuple[Tensor, Tensor]:
+        """Slice-aware query representations and averaged service representations."""
+        head_mask = self._is_head_query[query_ids].astype(np.float64).reshape(-1, 1)
+        query_head = head_readout.index_select(query_ids, axis=0)
+        query_tail = tail_readout.index_select(query_ids, axis=0)
+        query_repr = query_head * head_mask + query_tail * (1.0 - head_mask)
+        service_nodes = self.graph.service_node(service_ids)
+        service_repr = (
+            head_readout.index_select(service_nodes, axis=0)
+            + tail_readout.index_select(service_nodes, axis=0)
+        ) * 0.5
+        return query_repr, service_repr
+
+    # ------------------------------------------------------------------ #
+    # Pre-training objective (Eq. 11)
+    # ------------------------------------------------------------------ #
+    def pretrain_loss(self, batch: InteractionBatch) -> Tensor:
+        config = self.config
+        head_layers, tail_layers = self.encode()
+        head_readout, tail_readout = self._readouts(head_layers, tail_layers)
+
+        total = Tensor(0.0)
+        if config.use_ktcl:
+            total = total + self._ktcl_loss(batch, head_readout, tail_readout)
+        if config.use_secl:
+            total = total + config.alpha * self._secl_loss(batch, head_layers, tail_layers)
+        if config.use_igcl:
+            total = total + config.beta * self._igcl_loss(batch, head_readout, tail_readout)
+        return total
+
+    def _ktcl_loss(self, batch: InteractionBatch, head_readout: Tensor, tail_readout: Tensor) -> Tensor:
+        config = self.config
+        query_ids = np.unique(batch.query_ids)
+        tail_with_anchor = np.array(
+            [q for q in query_ids if not self._is_head_query[q] and q in self._anchor_map],
+            dtype=np.int64,
+        )
+        loss = Tensor(0.0)
+        if tail_with_anchor.size > 0:
+            anchors = tail_readout.index_select(tail_with_anchor, axis=0)
+            anchor_heads = np.array([self._anchor_map[int(q)] for q in tail_with_anchor], dtype=np.int64)
+            positives = head_readout.index_select(anchor_heads, axis=0)
+            batch_heads = np.array([q for q in query_ids if self._is_head_query[q]], dtype=np.int64)
+            negatives = (
+                head_readout.index_select(batch_heads, axis=0) if batch_heads.size > 0 else None
+            )
+            loss = loss + contrastive.ktcl_query_loss(
+                anchors, positives, negatives, temperature=config.temperature
+            )
+        service_ids = np.unique(batch.service_ids)
+        if service_ids.size > 1 and not config.share_encoder:
+            service_nodes = self.graph.service_node(service_ids)
+            loss = loss + contrastive.ktcl_service_loss(
+                head_readout.index_select(service_nodes, axis=0),
+                tail_readout.index_select(service_nodes, axis=0),
+                temperature=config.temperature,
+            )
+        return loss
+
+    def _secl_loss(self, batch: InteractionBatch, head_layers: List[Tensor],
+                   tail_layers: List[Tensor]) -> Tensor:
+        config = self.config
+        cap = config.max_contrastive_entities
+        query_ids = np.unique(batch.query_ids)
+        service_nodes = self.graph.service_node(np.unique(batch.service_ids))
+        head_queries = np.array([q for q in query_ids if self._is_head_query[q]], dtype=np.int64)
+        tail_queries = np.array([q for q in query_ids if not self._is_head_query[q]], dtype=np.int64)
+
+        head_nodes = np.concatenate([head_queries, service_nodes])[:cap]
+        tail_nodes = np.concatenate([tail_queries, service_nodes])[:cap]
+        loss = contrastive.secl_loss(head_layers, head_nodes, temperature=config.temperature)
+        if not config.share_encoder:
+            loss = loss + contrastive.secl_loss(tail_layers, tail_nodes, temperature=config.temperature)
+        return loss
+
+    def _igcl_loss(self, batch: InteractionBatch, head_readout: Tensor, tail_readout: Tensor) -> Tensor:
+        config = self.config
+        cap = config.max_contrastive_entities
+        query_ids = np.unique(batch.query_ids)[:cap]
+        service_ids = np.unique(batch.service_ids)[: max(cap // 2, 1)]
+
+        query_repr, service_repr = self._pair_representations(
+            head_readout, tail_readout, query_ids, service_ids
+        )
+        entity_repr = Tensor.concat([query_repr, service_repr], axis=0)
+        entity_intentions = np.concatenate(
+            [self._query_intentions[query_ids], self._service_intentions[service_ids]]
+        )
+        anchor_rows, positive_ids, negative_ids, weights = contrastive.build_igcl_pairs(
+            entity_intentions,
+            self.forest,
+            num_negatives=config.igcl_negatives,
+            rng=self._rng,
+            max_level=config.intention_levels,
+        )
+        if anchor_rows.size == 0:
+            return Tensor(0.0)
+        intention_repr = self.intention_encoder()
+        return contrastive.igcl_loss(
+            entity_repr,
+            intention_repr,
+            anchor_rows,
+            positive_ids,
+            negative_ids,
+            weights,
+            temperature=config.temperature,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fine-tuning objective (Eq. 12–13)
+    # ------------------------------------------------------------------ #
+    def finetune_loss(self, batch: InteractionBatch) -> Tensor:
+        head_layers, tail_layers = self.encode()
+        head_readout, tail_readout = self._readouts(head_layers, tail_layers)
+        query_repr, service_repr = self._pair_representations(
+            head_readout, tail_readout, batch.query_ids, batch.service_ids
+        )
+        predictions = self.click_head(query_repr, service_repr)
+        return self._bce(predictions, batch.labels)
+
+    def training_loss(self, batch: InteractionBatch) -> Tensor:
+        return self.finetune_loss(batch)
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def score_pairs(self, query_repr: Tensor, service_repr: Tensor) -> Tensor:
+        return self.click_head(query_repr, service_repr)
+
+    def compute_embeddings(self) -> Dict[str, np.ndarray]:
+        head_layers, tail_layers = self.encode()
+        head_readout, tail_readout = self._readouts(head_layers, tail_layers)
+        query_ids = np.arange(self.graph.num_queries)
+        service_ids = np.arange(self.graph.num_services)
+        query_repr, service_repr = self._pair_representations(
+            head_readout, tail_readout, query_ids, service_ids
+        )
+        return {"query": query_repr.numpy(), "service": service_repr.numpy()}
+
+
+def build_garcia(
+    dataset: ServiceSearchDataset,
+    graph: ServiceSearchGraph,
+    forest: IntentionForest,
+    head_tail: HeadTailSplit,
+    config: Optional[GarciaConfig] = None,
+) -> GARCIA:
+    """Convenience factory: mine anchor pairs and assemble a GARCIA model."""
+    config = config if config is not None else GarciaConfig()
+    pairs = mine_anchor_pairs(
+        dataset, head_tail, forest,
+        min_shared_attributes=config.anchor_min_shared_attributes,
+    )
+    query_intentions = [query.intention_id for query in dataset.queries]
+    service_intentions = [service.intention_id for service in dataset.services]
+    return GARCIA(
+        graph=graph,
+        forest=forest,
+        query_intentions=query_intentions,
+        service_intentions=service_intentions,
+        anchor_map=anchor_mapping(pairs),
+        config=config,
+    )

@@ -1,0 +1,41 @@
+"""Neural-network layers, initialisers and optimisers on top of the autograd engine.
+
+The module mirrors the familiar layer/optimizer split of mainstream deep
+learning frameworks so that GARCIA and the baseline models read naturally:
+
+* :class:`Module` / :class:`Parameter` — parameter containers with recursive
+  collection, train/eval switching and state (de)serialisation.
+* :class:`Linear`, :class:`Embedding`, :class:`MLP`, :class:`Dropout` — the
+  layers every model in the paper is composed of.
+* :mod:`repro.nn.init` — Xavier/Glorot and uniform initialisers.
+* :class:`Adam`, :class:`SGD` — optimisers (the paper trains with Adam).
+* :mod:`repro.nn.losses` — BCE and InfoNCE loss modules.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, Embedding, MLP, Dropout, Sequential
+from repro.nn.activations import ReLU, Tanh, Sigmoid, Identity
+from repro.nn.optim import Adam, SGD, Optimizer
+from repro.nn.losses import BCELoss, BCEWithLogitsLoss, InfoNCELoss
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "BCELoss",
+    "BCEWithLogitsLoss",
+    "InfoNCELoss",
+    "init",
+]

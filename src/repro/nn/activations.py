@@ -1,0 +1,34 @@
+"""Activation modules (thin wrappers around tensor methods)."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation (used by the aggregate step, Eq. 2)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation (used by the CTR head, Eq. 12)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    """No-op activation, handy for configurable output layers."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,49 @@
+"""Weight initialisers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that the
+whole reproduction is deterministic given a seed (important for the
+pre-training → fine-tuning hand-off and for reproducible benchmark tables).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return generator.normal(0.0, std, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], low: float = -0.05, high: float = 0.05,
+            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Plain uniform initialisation, used for embedding tables."""
+    generator = rng if rng is not None else np.random.default_rng()
+    return generator.uniform(low, high, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

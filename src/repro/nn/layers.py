@@ -1,0 +1,164 @@
+"""Core layers: Linear, Embedding, MLP, Dropout and Sequential."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.activations import Identity, ReLU, Sigmoid, Tanh
+from repro.nn.module import Module, Parameter
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "identity": Identity,
+    "none": Identity,
+}
+
+
+def build_activation(name: str) -> Module:
+    """Construct an activation module from its lower-case name."""
+    key = name.lower()
+    if key not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {name!r}; expected one of {sorted(_ACTIVATIONS)}")
+    return _ACTIVATIONS[key]()
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output dimensionality.
+    bias:
+        Whether to learn an additive bias term.
+    rng:
+        Random generator for deterministic Xavier initialisation.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        output = x @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Learnable lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.uniform((num_embeddings, embedding_dim), low=-0.1, high=0.1, rng=rng),
+            name="embedding",
+        )
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}); "
+                f"got min={indices.min()}, max={indices.max()}"
+            )
+        return self.weight.index_select(indices, axis=0)
+
+    def all_embeddings(self) -> Tensor:
+        """Return the full table as a tensor participating in autograd."""
+        return self.weight.index_select(np.arange(self.num_embeddings), axis=0)
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, rate: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, rng=self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, modules: Iterable[Module]) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            self.register_module(f"layer_{index}", module)
+            self._layers.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    The GARCIA fine-tuning head (Eq. 12) is ``MLP([2d, d, 1])`` with ReLU
+    hidden activations and a sigmoid output.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str = "relu",
+        output_activation: str = "identity",
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        modules: List[Module] = []
+        for index in range(len(self.layer_sizes) - 1):
+            modules.append(Linear(self.layer_sizes[index], self.layer_sizes[index + 1], rng=rng))
+            is_last = index == len(self.layer_sizes) - 2
+            if not is_last:
+                modules.append(build_activation(activation))
+                if dropout > 0.0:
+                    modules.append(Dropout(dropout, rng=rng))
+        modules.append(build_activation(output_activation))
+        self.network = Sequential(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)

@@ -1,0 +1,42 @@
+"""Loss modules wrapping the functional primitives."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class BCELoss(Module):
+    """Mean binary cross entropy over probabilities (GARCIA fine-tuning, Eq. 13)."""
+
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        return F.binary_cross_entropy(predictions, targets)
+
+
+class BCEWithLogitsLoss(Module):
+    """Mean binary cross entropy computed from raw logits."""
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, targets)
+
+
+class InfoNCELoss(Module):
+    """InfoNCE contrastive loss with a configurable temperature.
+
+    This is the shared primitive behind KTCL (Eq. 4-5), SECL (Eq. 7) and IGCL
+    (Eq. 9): anchors are pulled toward their positives and pushed away from
+    the negative candidate set under a temperature-scaled cosine softmax.
+    """
+
+    def __init__(self, temperature: float = 0.1) -> None:
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.temperature = temperature
+
+    def forward(self, anchors: Tensor, positives: Tensor,
+                negatives: Optional[Tensor] = None) -> Tensor:
+        return F.info_nce(anchors, positives, negatives=negatives, temperature=self.temperature)

@@ -1,0 +1,128 @@
+"""Parameter and Module containers.
+
+A :class:`Parameter` is simply a :class:`~repro.autograd.Tensor` flagged as
+trainable.  A :class:`Module` owns parameters and sub-modules and exposes the
+recursive utilities the training loops need: parameter iteration, gradient
+zeroing, train/eval mode switching and state dict export/import (used to copy
+pre-trained weights into the fine-tuning stage, as the paper prescribes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import ArrayLike, Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always created with ``requires_grad=True``."""
+
+    def __init__(self, data: ArrayLike, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for every layer and model in the reproduction."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute handling: registering parameters / sub-modules on assignment
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a sub-module (used for modules kept in lists)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Parameter iteration
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return the flat list of all trainable parameters."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar weights."""
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Training / evaluation mode
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set the module (and children) to training mode."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set the module (and children) to evaluation mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # State (de)serialisation — used for pre-train → fine-tune hand-off
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a name → array copy of every parameter."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Copy arrays from ``state`` into matching parameters.
+
+        With ``strict=False`` parameters missing from ``state`` are left
+        untouched and extra keys are ignored, which is exactly what the
+        pre-training → fine-tuning hand-off needs (the fine-tuning model adds
+        a prediction head that has no pre-trained weights).
+        """
+        own = dict(self.named_parameters())
+        missing = [name for name in own if name not in state]
+        unexpected = [name for name in state if name not in own]
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
+        for name, parameter in own.items():
+            if name not in state:
+                continue
+            array = np.asarray(state[name], dtype=np.float64)
+            if array.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {array.shape}"
+                )
+            parameter.data = array.copy()
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_repr = ", ".join(self._modules.keys())
+        return f"{type(self).__name__}({child_repr})"

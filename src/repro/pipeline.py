@@ -1,0 +1,78 @@
+"""End-to-end scenario preparation.
+
+A *scenario* bundles everything the models and experiments need for one
+dataset: the generated data, its chronological splits, the head/tail query
+partition, the service-search graph, the intention forest and the ground-truth
+click oracle used by the online A/B simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.data.schema import ServiceSearchDataset
+from repro.data.splits import DataSplits, HeadTailSplit, chronological_split, head_tail_split
+from repro.data.synthetic import ClickOracle, SyntheticConfig, SyntheticDataGenerator
+from repro.graph.builder import GraphBuildConfig, GraphBuilder
+from repro.graph.intention_tree import IntentionForest
+from repro.graph.search_graph import ServiceSearchGraph
+
+
+@dataclass
+class Scenario:
+    """One fully-prepared service-search scenario."""
+
+    dataset: ServiceSearchDataset
+    splits: DataSplits
+    head_tail: HeadTailSplit
+    graph: ServiceSearchGraph
+    forest: IntentionForest
+    oracle: ClickOracle
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+
+def prepare_scenario(
+    config: SyntheticConfig,
+    validation_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    head_fraction: Optional[float] = None,
+    graph_config: Optional[GraphBuildConfig] = None,
+) -> Scenario:
+    """Generate a dataset and derive splits, graph and intention forest.
+
+    Parameters
+    ----------
+    config:
+        Synthetic dataset configuration (see :mod:`repro.data.industrial` and
+        :mod:`repro.data.amazon` for the paper's dataset presets).
+    validation_fraction, test_fraction:
+        Chronological split sizes.
+    head_fraction:
+        Fraction of queries treated as head; defaults to the generator's own
+        ``head_fraction`` so the data-generation bias and the modelling split
+        agree.
+    graph_config:
+        Optional overrides for the graph construction conditions.
+    """
+    generator = SyntheticDataGenerator(config)
+    dataset = generator.generate()
+    splits = chronological_split(
+        dataset, validation_fraction=validation_fraction, test_fraction=test_fraction
+    )
+    fraction = head_fraction if head_fraction is not None else config.head_fraction
+    head_tail = head_tail_split(dataset, head_fraction=fraction)
+    builder = GraphBuilder(graph_config)
+    graph = builder.build(dataset, splits.train, head_tail)
+    forest = IntentionForest.from_dataset(dataset)
+    return Scenario(
+        dataset=dataset,
+        splits=splits,
+        head_tail=head_tail,
+        graph=graph,
+        forest=forest,
+        oracle=generator.oracle,
+    )

@@ -1,0 +1,31 @@
+"""Online serving substrate (Fig. 9 of the paper).
+
+The production deployment runs a hybrid offline–online pipeline:
+
+1. **Data processing** — node-feature and relation extractors build the
+   service-search graph (here: :mod:`repro.serving.feature_extractor` wrapping
+   the graph builder);
+2. **Offline training** — GARCIA is trained and its query/service embeddings
+   are exported daily to an embedding store;
+3. **Online serving** — a request looks up the query embedding, retrieves the
+   top-K services by inner product (the MLP head of Eq. 12 is replaced by an
+   inner product for latency reasons, Sec. V-F.1) and returns the ranked list.
+"""
+
+from repro.serving.embedding_store import EmbeddingStore
+from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
+from repro.serving.ranking import RankingModule, RankedService
+from repro.serving.feature_extractor import NodeFeatureExtractor, RelationExtractor
+from repro.serving.pipeline import ServingPipeline, deploy_model
+
+__all__ = [
+    "EmbeddingStore",
+    "InnerProductRetriever",
+    "ModelScoringRetriever",
+    "RankingModule",
+    "RankedService",
+    "NodeFeatureExtractor",
+    "RelationExtractor",
+    "ServingPipeline",
+    "deploy_model",
+]

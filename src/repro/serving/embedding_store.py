@@ -1,0 +1,74 @@
+"""Embedding store: the daily-refreshed inference artefact of the pipeline.
+
+The production Inference Platform materialises query and service embeddings
+once per day; online requests only perform lookups.  This class is that
+artefact: a pair of dense arrays with id-based lookup, refresh and staleness
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+class EmbeddingStore:
+    """Lookup table of query and service embeddings."""
+
+    def __init__(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray,
+                 version: int = 0) -> None:
+        query_embeddings = np.asarray(query_embeddings, dtype=np.float64)
+        service_embeddings = np.asarray(service_embeddings, dtype=np.float64)
+        if query_embeddings.ndim != 2 or service_embeddings.ndim != 2:
+            raise ValueError("embeddings must be 2-D arrays")
+        if query_embeddings.shape[1] != service_embeddings.shape[1]:
+            raise ValueError("query and service embeddings must share the same dimensionality")
+        self._queries = query_embeddings
+        self._services = service_embeddings
+        self.version = version
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def num_queries(self) -> int:
+        return self._queries.shape[0]
+
+    @property
+    def num_services(self) -> int:
+        return self._services.shape[0]
+
+    @property
+    def embedding_dim(self) -> int:
+        return self._queries.shape[1]
+
+    def query(self, query_ids: Sequence[int]) -> np.ndarray:
+        """Embeddings of the given query ids."""
+        return self._queries[np.asarray(query_ids, dtype=np.int64)]
+
+    def service(self, service_ids: Sequence[int]) -> np.ndarray:
+        """Embeddings of the given service ids."""
+        return self._services[np.asarray(service_ids, dtype=np.int64)]
+
+    def all_services(self) -> np.ndarray:
+        """The full service embedding matrix (used by the retriever)."""
+        return self._services
+
+    # ------------------------------------------------------------------ #
+    # Refresh (the "daily embedding inference" of Fig. 9)
+    # ------------------------------------------------------------------ #
+    def refresh(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray) -> int:
+        """Replace the stored embeddings; returns the new version number."""
+        replacement = EmbeddingStore(query_embeddings, service_embeddings)
+        if replacement.embedding_dim != self.embedding_dim:
+            raise ValueError("refresh must keep the embedding dimensionality")
+        self._queries = replacement._queries
+        self._services = replacement._services
+        self.version += 1
+        return self.version
+
+    @classmethod
+    def from_model(cls, model, version: int = 0) -> "EmbeddingStore":
+        """Build a store from any model exposing query/service embeddings."""
+        return cls(model.query_embeddings(), model.service_embeddings(), version=version)

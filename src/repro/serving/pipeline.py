@@ -1,0 +1,67 @@
+"""The hybrid offline–online serving pipeline (Fig. 9).
+
+:func:`deploy_model` packages the offline side — export embeddings from a
+trained model into an :class:`~repro.serving.embedding_store.EmbeddingStore`
+— and returns a :class:`ServingPipeline`, the online side, which answers
+requests through retrieval + ranking and can be handed directly to the
+A/B-test simulator (it satisfies the ``rank(query_id, k)`` ranker protocol).
+
+Two scoring modes are supported:
+
+* ``"model"`` (default) — every candidate service is scored with the model's
+  own click head; exact but O(catalogue) per request.  Affordable at
+  reproduction scale and keeps offline/online rankings consistent.
+* ``"inner_product"`` — the paper's deployment choice (Sec. V-F.1): the MLP
+  head is replaced by an inner product over exported embeddings so retrieval
+  reduces to a maximum-inner-product search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.data.schema import ServiceSearchDataset
+from repro.serving.embedding_store import EmbeddingStore
+from repro.serving.ranking import RankedService, RankingModule
+from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
+
+
+class ServingPipeline:
+    """Online request path: embedding lookup → retrieval → ranking."""
+
+    def __init__(self, store: EmbeddingStore, dataset: Optional[ServiceSearchDataset] = None,
+                 top_k: int = 5, normalize: bool = False, model=None,
+                 scoring: str = "inner_product") -> None:
+        if scoring not in ("inner_product", "model"):
+            raise ValueError(f"unknown scoring mode {scoring!r}")
+        if scoring == "model" and model is None:
+            raise ValueError("scoring='model' requires the trained model")
+        self.store = store
+        self.scoring = scoring
+        if scoring == "model":
+            self.retriever = ModelScoringRetriever(model, store.num_services)
+        else:
+            self.retriever = InnerProductRetriever(store, normalize=normalize)
+        self.ranking = RankingModule(self.retriever, dataset=dataset, top_k=top_k)
+
+    # The A/B simulator's ranker protocol.
+    def rank(self, query_id: int, k: Optional[int] = None) -> List[int]:
+        """Top-K service ids for one query request."""
+        return self.ranking.rank(query_id, k)
+
+    def rank_with_metadata(self, query_id: int, k: Optional[int] = None) -> List[RankedService]:
+        """Top-K services with MAU / rating metadata (case studies)."""
+        return self.ranking.rank_with_metadata(query_id, k)
+
+    def refresh_from_model(self, model) -> int:
+        """Re-export embeddings from a newly trained model (daily refresh)."""
+        return self.store.refresh(model.query_embeddings(), model.service_embeddings())
+
+
+def deploy_model(model, dataset: Optional[ServiceSearchDataset] = None,
+                 top_k: int = 5, normalize: bool = False,
+                 scoring: str = "model") -> ServingPipeline:
+    """Export a trained model's embeddings and wrap them in a serving pipeline."""
+    store = EmbeddingStore.from_model(model)
+    return ServingPipeline(store, dataset=dataset, top_k=top_k, normalize=normalize,
+                           model=model, scoring=scoring)

@@ -1,0 +1,80 @@
+"""Ranking module: turn retrieval results into the final service list.
+
+The ranking module keeps only the top-K services with the highest similarity
+(Sec. V-F.1) and attaches the quality metadata (MAU, authoritative rating)
+used by the paper's case studies (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import ServiceSearchDataset
+from repro.serving.retrieval import InnerProductRetriever
+
+
+@dataclass
+class RankedService:
+    """One entry of the final ranking list."""
+
+    rank: int
+    service_id: int
+    score: float
+    name: str = ""
+    mau: int = 0
+    rating: int = 0
+
+
+class RankingModule:
+    """Produce the final ranked list of services for a query."""
+
+    def __init__(self, retriever: InnerProductRetriever,
+                 dataset: Optional[ServiceSearchDataset] = None, top_k: int = 5) -> None:
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        self.retriever = retriever
+        self.dataset = dataset
+        self.top_k = top_k
+
+    def rank(self, query_id: int, k: Optional[int] = None,
+             candidate_ids: Optional[Sequence[int]] = None) -> List[int]:
+        """Return the ids of the top-K services for the query."""
+        limit = k if k is not None else self.top_k
+        service_ids, _ = self.retriever.retrieve(query_id, limit, candidate_ids=candidate_ids)
+        return [int(service_id) for service_id in service_ids]
+
+    def rank_with_metadata(self, query_id: int, k: Optional[int] = None,
+                           candidate_ids: Optional[Sequence[int]] = None) -> List[RankedService]:
+        """Ranked list enriched with MAU / rating for case-study style output."""
+        limit = k if k is not None else self.top_k
+        service_ids, scores = self.retriever.retrieve(query_id, limit, candidate_ids=candidate_ids)
+        results: List[RankedService] = []
+        for position, (service_id, score) in enumerate(zip(service_ids, scores), start=1):
+            name, mau, rating = "", 0, 0
+            if self.dataset is not None:
+                service = self.dataset.service_by_id(int(service_id))
+                name, mau, rating = service.name, service.mau, service.rating
+            results.append(
+                RankedService(
+                    rank=position,
+                    service_id=int(service_id),
+                    score=float(score),
+                    name=name,
+                    mau=mau,
+                    rating=rating,
+                )
+            )
+        return results
+
+    def average_quality(self, query_id: int, k: Optional[int] = None) -> float:
+        """Mean composite quality of the returned list (used by Fig. 11 analysis)."""
+        if self.dataset is None:
+            raise ValueError("average_quality requires the dataset metadata")
+        ranked = self.rank(query_id, k)
+        if not ranked:
+            return float("nan")
+        qualities = [self.dataset.service_by_id(s).quality_score() for s in ranked]
+        return float(np.mean(qualities))

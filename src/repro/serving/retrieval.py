@@ -1,0 +1,97 @@
+"""Top-K inner-product retrieval.
+
+Online, GARCIA replaces the MLP click head with an inner product so that
+retrieval reduces to a maximum-inner-product search over the service
+embedding matrix (Sec. V-F.1).  The retriever supports optional candidate
+restriction (e.g. to services sharing the query's category) and returns both
+ids and scores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.embedding_store import EmbeddingStore
+
+
+class ModelScoringRetriever:
+    """Top-K retrieval that scores every candidate with the model's click head.
+
+    The production system avoids this (it runs the full head over the whole
+    catalogue per request) and uses the inner-product path below instead; at
+    reproduction scale the catalogue is tiny, so exact scoring is affordable
+    and keeps the offline and online rankings consistent.  The paper's
+    latency-motivated inner-product approximation remains available through
+    :class:`InnerProductRetriever`.
+    """
+
+    def __init__(self, model, num_services: int) -> None:
+        if num_services <= 0:
+            raise ValueError("num_services must be positive")
+        self.model = model
+        self.num_services = num_services
+
+    def retrieve(
+        self,
+        query_id: int,
+        k: int,
+        candidate_ids: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(service_ids, scores)`` of the top-K services for a query."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        candidates = (
+            np.arange(self.num_services, dtype=np.int64)
+            if candidate_ids is None
+            else np.asarray(candidate_ids, dtype=np.int64)
+        )
+        if candidates.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        scores = np.asarray(
+            self.model.predict(np.full(len(candidates), query_id, dtype=np.int64), candidates)
+        )
+        k = min(k, len(candidates))
+        top = np.argpartition(-scores, k - 1)[:k]
+        order = top[np.argsort(-scores[top], kind="stable")]
+        return candidates[order], scores[order]
+
+
+class InnerProductRetriever:
+    """Maximum-inner-product top-K retrieval over an embedding store."""
+
+    def __init__(self, store: EmbeddingStore, normalize: bool = False) -> None:
+        self.store = store
+        self.normalize = normalize
+
+    def _score(self, query_embedding: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        service_matrix = self.store.all_services()[candidates]
+        if self.normalize:
+            query_embedding = query_embedding / (np.linalg.norm(query_embedding) + 1e-12)
+            norms = np.linalg.norm(service_matrix, axis=1, keepdims=True) + 1e-12
+            service_matrix = service_matrix / norms
+        return service_matrix @ query_embedding
+
+    def retrieve(
+        self,
+        query_id: int,
+        k: int,
+        candidate_ids: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(service_ids, scores)`` of the top-K services for a query."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        candidates = (
+            np.arange(self.store.num_services, dtype=np.int64)
+            if candidate_ids is None
+            else np.asarray(candidate_ids, dtype=np.int64)
+        )
+        if candidates.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        query_embedding = self.store.query([query_id])[0]
+        scores = self._score(query_embedding, candidates)
+        k = min(k, len(candidates))
+        top = np.argpartition(-scores, k - 1)[:k]
+        order = top[np.argsort(-scores[top], kind="stable")]
+        return candidates[order], scores[order]

@@ -1,0 +1,17 @@
+"""Training loops: generic trainer, GARCIA pre-trainer and fine-tuner."""
+
+from repro.training.history import TrainingHistory, EpochRecord
+from repro.training.trainer import Trainer, TrainerConfig
+from repro.training.pretrainer import Pretrainer
+from repro.training.finetuner import Finetuner
+from repro.training.seeding import seed_everything
+
+__all__ = [
+    "TrainingHistory",
+    "EpochRecord",
+    "Trainer",
+    "TrainerConfig",
+    "Pretrainer",
+    "Finetuner",
+    "seed_everything",
+]

@@ -1,0 +1,75 @@
+"""GARCIA fine-tuning stage (and the full pre-train → fine-tune pipeline).
+
+Following the paper's learning schema (Sec. IV-C), the fine-tuner initialises
+the model with pre-trained parameters and optimises the binary cross-entropy
+click objective (Eq. 13).  :func:`train_garcia` packages the complete
+pipeline used by the experiments and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import Interaction
+from repro.data.splits import HeadTailSplit
+from repro.models.garcia.model import GARCIA
+from repro.training.history import TrainingHistory
+from repro.training.pretrainer import Pretrainer
+from repro.training.trainer import Trainer, TrainerConfig
+
+
+class Finetuner:
+    """Fine-tune a (optionally pre-trained) GARCIA model on the click objective."""
+
+    def __init__(self, model: GARCIA, config: Optional[TrainerConfig] = None) -> None:
+        self.model = model
+        self.config = config if config is not None else TrainerConfig()
+        self._trainer = Trainer(model, config=self.config, loss_fn=model.finetune_loss)
+
+    def run(
+        self,
+        train_interactions: Sequence[Interaction],
+        validation_interactions: Optional[Sequence[Interaction]] = None,
+        head_tail: Optional[HeadTailSplit] = None,
+        pretrained_state: Optional[Dict[str, np.ndarray]] = None,
+    ) -> TrainingHistory:
+        """Load pre-trained weights (if given) and run the supervised stage."""
+        if pretrained_state is not None:
+            self.model.load_state_dict(pretrained_state, strict=False)
+            self.model.invalidate_cache()
+        return self._trainer.fit(train_interactions, validation_interactions, head_tail)
+
+
+@dataclass
+class GarciaTrainingResult:
+    """Histories of both learning stages."""
+
+    pretrain_history: TrainingHistory
+    finetune_history: TrainingHistory
+
+
+def train_garcia(
+    model: GARCIA,
+    train_interactions: Sequence[Interaction],
+    validation_interactions: Optional[Sequence[Interaction]] = None,
+    head_tail: Optional[HeadTailSplit] = None,
+    pretrain_config: Optional[TrainerConfig] = None,
+    finetune_config: Optional[TrainerConfig] = None,
+) -> GarciaTrainingResult:
+    """Run the full pre-training → fine-tuning pipeline on one GARCIA model."""
+    pretrainer = Pretrainer(model, config=pretrain_config)
+    pretrain_history = pretrainer.run(train_interactions)
+    finetuner = Finetuner(model, config=finetune_config)
+    finetune_history = finetuner.run(
+        train_interactions,
+        validation_interactions=validation_interactions,
+        head_tail=head_tail,
+        pretrained_state=None,  # weights already live in the same model object
+    )
+    return GarciaTrainingResult(
+        pretrain_history=pretrain_history,
+        finetune_history=finetune_history,
+    )

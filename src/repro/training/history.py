@@ -1,0 +1,48 @@
+"""Training history containers used by trainers and the sensitivity sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """Loss and optional evaluation metrics of one epoch."""
+
+    epoch: int
+    loss: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+    num_steps: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Ordered record of epochs; feeds the Fig. 5 / Fig. 6 step curves."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def losses(self) -> List[float]:
+        return [record.loss for record in self.records]
+
+    def metric(self, name: str) -> List[float]:
+        """Per-epoch series of one evaluation metric (``nan`` when missing)."""
+        return [record.metrics.get(name, float("nan")) for record in self.records]
+
+    def best_epoch(self, metric: str = "overall_auc", maximize: bool = True) -> Optional[EpochRecord]:
+        candidates = [record for record in self.records if metric in record.metrics]
+        if not candidates:
+            return None
+        key = (lambda record: record.metrics[metric]) if maximize else (lambda record: -record.metrics[metric])
+        return max(candidates, key=key)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(record.num_steps for record in self.records)

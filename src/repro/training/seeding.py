@@ -1,0 +1,19 @@
+"""Deterministic seeding helpers."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python and NumPy global state and return a dedicated generator.
+
+    Models and loaders in this reproduction take explicit generators, so the
+    global seeding mainly protects against accidental use of the module-level
+    ``np.random`` API inside user code or third-party helpers.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    return np.random.default_rng(seed)

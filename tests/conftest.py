@@ -1,0 +1,56 @@
+"""Shared fixtures for the test-suite.
+
+A single very small scenario is prepared once per session and reused by the
+graph / model / serving / experiment tests so the suite stays fast while still
+exercising the full data → graph → model pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticConfig
+from repro.pipeline import Scenario, prepare_scenario
+
+
+TINY_CONFIG = SyntheticConfig(
+    name="tiny-test",
+    num_queries=80,
+    num_services=30,
+    num_interactions=2_000,
+    total_page_views=20_000,
+    num_days=10,
+    num_intention_trees=3,
+    intention_depth=4,
+    intention_branching=2,
+    head_fraction=0.05,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario() -> Scenario:
+    """A fully prepared small scenario shared across the session."""
+    return prepare_scenario(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_scenario):
+    return tiny_scenario.dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_scenario):
+    return tiny_scenario.graph
+
+
+@pytest.fixture(scope="session")
+def tiny_forest(tiny_scenario):
+    return tiny_scenario.forest
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,169 @@
+"""Unit tests for functional ops: softmax, normalisation, similarity and losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, gradient_check
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)) * 10)
+        probs = F.softmax(x, axis=1).data
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = F.softmax(Tensor(x), axis=1).data
+        b = F.softmax(Tensor(x + 100.0), axis=1).data
+        assert np.allclose(a, b)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        assert np.allclose(F.log_softmax(x, axis=1).data, np.log(F.softmax(x, axis=1).data))
+
+    def test_softmax_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda inp: (F.softmax(inp[0], axis=1) ** 2).sum(), [x])
+
+    def test_log_softmax_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        gradient_check(lambda inp: F.log_softmax(inp[0], axis=1).mean(), [x])
+
+    def test_softmax_handles_extreme_values(self):
+        x = Tensor(np.array([[1000.0, -1000.0]]))
+        probs = F.softmax(x, axis=1).data
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestNormalisationAndSimilarity:
+    def test_l2_normalize_unit_norm(self, rng):
+        x = Tensor(rng.normal(size=(5, 8)))
+        norms = np.linalg.norm(F.l2_normalize(x).data, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_l2_normalize_zero_vector_safe(self):
+        x = Tensor(np.zeros((1, 4)))
+        assert np.isfinite(F.l2_normalize(x).data).all()
+
+    def test_cosine_similarity_of_identical_rows_is_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        assert np.allclose(F.cosine_similarity(x, x).data, 1.0)
+
+    def test_cosine_similarity_of_opposite_rows_is_minus_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        y = Tensor(-x.data)
+        assert np.allclose(F.cosine_similarity(x, y).data, -1.0)
+
+    def test_cosine_similarity_matrix_shape_and_range(self, rng):
+        a = Tensor(rng.normal(size=(3, 5)))
+        b = Tensor(rng.normal(size=(7, 5)))
+        matrix = F.cosine_similarity_matrix(a, b).data
+        assert matrix.shape == (3, 7)
+        assert np.all(matrix <= 1.0 + 1e-9) and np.all(matrix >= -1.0 - 1e-9)
+
+    def test_cosine_similarity_gradient(self, rng):
+        a = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        gradient_check(lambda inp: F.cosine_similarity(inp[0], inp[1]).sum(), [a, b])
+
+
+class TestBinaryCrossEntropy:
+    def test_bce_perfect_prediction_is_near_zero(self):
+        predictions = Tensor(np.array([1.0 - 1e-9, 1e-9]))
+        loss = F.binary_cross_entropy(predictions, np.array([1.0, 0.0]))
+        assert loss.item() < 1e-6
+
+    def test_bce_chance_prediction_is_log_two(self):
+        predictions = Tensor(np.full(10, 0.5))
+        labels = np.array([1.0, 0.0] * 5)
+        assert F.binary_cross_entropy(predictions, labels).item() == pytest.approx(np.log(2.0))
+
+    def test_bce_gradient(self, rng):
+        probabilities = Tensor(rng.uniform(0.05, 0.95, size=12), requires_grad=True)
+        labels = (rng.random(12) > 0.5).astype(float)
+        gradient_check(lambda inp: F.binary_cross_entropy(inp[0], labels), [probabilities])
+
+    def test_bce_with_logits_matches_naive_formula(self, rng):
+        logits = rng.normal(size=20)
+        labels = (rng.random(20) > 0.5).astype(float)
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        naive = -(labels * np.log(probabilities) + (1 - labels) * np.log(1 - probabilities)).mean()
+        stable = F.binary_cross_entropy_with_logits(Tensor(logits), labels).item()
+        assert stable == pytest.approx(naive, rel=1e-9)
+
+    def test_bce_with_logits_extreme_logits_finite(self):
+        logits = Tensor(np.array([500.0, -500.0]))
+        loss = F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_bce_with_logits_gradient(self, rng):
+        logits = Tensor(rng.normal(size=8), requires_grad=True)
+        labels = (rng.random(8) > 0.5).astype(float)
+        gradient_check(lambda inp: F.binary_cross_entropy_with_logits(inp[0], labels), [logits])
+
+
+class TestInfoNCE:
+    def test_identical_pairs_give_low_loss(self, rng):
+        x = rng.normal(size=(8, 16))
+        loss_aligned = F.info_nce(Tensor(x), Tensor(x), temperature=0.1).item()
+        loss_random = F.info_nce(Tensor(x), Tensor(rng.normal(size=(8, 16))), temperature=0.1).item()
+        assert loss_aligned < loss_random
+
+    def test_in_batch_loss_is_positive(self, rng):
+        loss = F.info_nce(Tensor(rng.normal(size=(6, 4))), Tensor(rng.normal(size=(6, 4))))
+        assert loss.item() > 0
+
+    def test_explicit_negatives_mode(self, rng):
+        anchors = Tensor(rng.normal(size=(5, 8)))
+        positives = Tensor(anchors.data + 0.01 * rng.normal(size=(5, 8)))
+        negatives = Tensor(rng.normal(size=(20, 8)))
+        loss = F.info_nce(anchors, positives, negatives=negatives, temperature=0.1)
+        assert loss.item() < 0.5  # positives nearly identical → easy task
+
+    def test_higher_temperature_flattens_loss(self, rng):
+        anchors = Tensor(rng.normal(size=(10, 8)))
+        positives = Tensor(anchors.data + 0.05 * rng.normal(size=(10, 8)))
+        sharp = F.info_nce(anchors, positives, temperature=0.05).item()
+        flat = F.info_nce(anchors, positives, temperature=5.0).item()
+        assert sharp < flat
+
+    def test_in_batch_gradient(self, rng):
+        a = Tensor(rng.normal(size=(5, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5, 6)), requires_grad=True)
+        gradient_check(lambda inp: F.info_nce(inp[0], inp[1], temperature=0.4), [a, b])
+
+    def test_explicit_negatives_gradient(self, rng):
+        a = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        n = Tensor(rng.normal(size=(7, 6)), requires_grad=True)
+        gradient_check(lambda inp: F.info_nce(inp[0], inp[1], negatives=inp[2], temperature=0.3), [a, b, n])
+
+
+class TestDropoutAndMSE:
+    def test_dropout_identity_when_not_training(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.allclose(F.dropout(x, 0.5, rng=rng, training=False).data, x.data)
+
+    def test_dropout_zero_rate_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.allclose(F.dropout(x, 0.0, rng=rng).data, x.data)
+
+    def test_dropout_scales_surviving_entries(self, rng):
+        x = Tensor(np.ones((2000,)))
+        dropped = F.dropout(x, 0.5, rng=rng).data
+        surviving = dropped[dropped > 0]
+        assert np.allclose(surviving, 2.0)
+        assert abs(dropped.mean() - 1.0) < 0.1
+
+    def test_dropout_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng=rng)
+
+    def test_mse_value_and_gradient(self, rng):
+        a = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        target = rng.normal(size=(6,))
+        assert F.mse(a, target).item() == pytest.approx(((a.data - target) ** 2).mean())
+        gradient_check(lambda inp: F.mse(inp[0], target), [a])

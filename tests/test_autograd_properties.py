@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for the autograd engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, functional as F, gradient_check
+
+finite_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def small_matrices(max_rows: int = 4, max_cols: int = 4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_rows), st.integers(1, max_cols)),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrices())
+def test_add_commutes(matrix):
+    a, b = Tensor(matrix), Tensor(matrix * 0.5 + 1.0)
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrices())
+def test_sum_matches_numpy(matrix):
+    assert np.allclose(Tensor(matrix).sum().data, matrix.sum())
+    assert np.allclose(Tensor(matrix).mean().data, matrix.mean())
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrices())
+def test_relu_is_idempotent_and_nonnegative(matrix):
+    once = Tensor(matrix).relu()
+    twice = once.relu()
+    assert np.all(once.data >= 0)
+    assert np.allclose(once.data, twice.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrices())
+def test_softmax_rows_are_distributions(matrix):
+    probs = F.softmax(Tensor(matrix), axis=1).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_matrices())
+def test_l2_normalize_is_scale_invariant(matrix):
+    # Rows with a tiny norm are dominated by the numerical-stability epsilon,
+    # so scale invariance is only expected for rows of non-negligible norm.
+    scaled = matrix * 3.7
+    a = F.l2_normalize(Tensor(matrix)).data
+    b = F.l2_normalize(Tensor(scaled)).data
+    stable_rows = np.linalg.norm(matrix, axis=1) > 1e-3
+    assert np.allclose(a[stable_rows], b[stable_rows], atol=1e-5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 4), st.integers(2, 4)),
+        elements=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_elementwise_chain_gradient_matches_numerical(matrix):
+    tensor = Tensor(matrix, requires_grad=True)
+    gradient_check(lambda inp: (inp[0].tanh() * inp[0].sigmoid()).sum(), [tensor], atol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(1, 5))
+def test_matmul_gradient_random_shapes(rows, inner, cols):
+    rng = np.random.default_rng(rows * 100 + inner * 10 + cols)
+    a = Tensor(rng.normal(size=(rows, inner)), requires_grad=True)
+    b = Tensor(rng.normal(size=(inner, cols)), requires_grad=True)
+    gradient_check(lambda inp: (inp[0] @ inp[1]).sum(), [a, b])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 50))
+def test_backward_of_sum_is_all_ones(length):
+    tensor = Tensor(np.linspace(-1, 1, length), requires_grad=True)
+    tensor.sum().backward()
+    assert np.allclose(tensor.grad, np.ones(length))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_matrices(3, 3), st.floats(min_value=0.05, max_value=2.0))
+def test_info_nce_is_finite_and_nonnegative(matrix, temperature):
+    anchors = Tensor(matrix)
+    positives = Tensor(matrix[::-1].copy())
+    loss = F.info_nce(anchors, positives, temperature=temperature).item()
+    assert np.isfinite(loss)
+    assert loss >= 0.0

@@ -1,0 +1,235 @@
+"""Unit tests for the core Tensor autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradient_check, no_grad, is_grad_enabled
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.data.dtype == np.float64
+        assert not tensor.requires_grad
+
+    def test_construction_preserves_requires_grad(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        assert tensor.requires_grad
+        assert tensor.grad is None
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+
+    def test_len_and_size(self):
+        tensor = Tensor(np.zeros((4, 5)))
+        assert len(tensor) == 4
+        assert tensor.size == 20
+        assert tensor.ndim == 2
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_zeros_ones_randn_constructors(self, rng):
+        assert np.all(Tensor.zeros((2, 3)).data == 0.0)
+        assert np.all(Tensor.ones((2, 3)).data == 1.0)
+        random_tensor = Tensor.randn((100,), scale=2.0, rng=rng)
+        assert random_tensor.shape == (100,)
+
+
+class TestBackwardMechanics:
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = a * 3.0
+        with pytest.raises(RuntimeError):
+            b.backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3.0).sum().backward()
+        (a * 3.0).sum().backward()
+        assert a.grad == pytest.approx(np.array([6.0]))
+
+    def test_zero_grad_resets(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # f = (a*2) + (a*3) -> df/da = 5
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0 + a * 3.0).sum().backward()
+        assert a.grad == pytest.approx(np.array([5.0]))
+
+    def test_reused_node_deep_chain(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a * 2.0
+        c = b + b
+        c.sum().backward()
+        assert np.allclose(a.grad, 4.0)
+
+    def test_no_grad_context(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            b = a * 2.0
+        assert is_grad_enabled()
+        assert not b.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add_broadcasting(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        gradient_check(lambda inp: (inp[0] + inp[1]).sum(), [a, b])
+
+    def test_sub_and_rsub(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        gradient_check(lambda inp: (5.0 - inp[0]).sum(), [a])
+        gradient_check(lambda inp: (inp[0] - 2.0).sum(), [a])
+
+    def test_mul_broadcasting(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 3)), requires_grad=True)
+        gradient_check(lambda inp: (inp[0] * inp[1]).sum(), [a, b])
+
+    def test_division(self, rng):
+        a = Tensor(rng.normal(size=(4,)) + 3.0, requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)) + 3.0, requires_grad=True)
+        gradient_check(lambda inp: (inp[0] / inp[1]).sum(), [a, b])
+
+    def test_neg_and_pow(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True)
+        gradient_check(lambda inp: (-inp[0]).sum(), [a])
+        gradient_check(lambda inp: (inp[0] ** 3).sum(), [a])
+        gradient_check(lambda inp: inp[0].sqrt().sum(), [a])
+
+    def test_scalar_values_match_numpy(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        assert np.allclose((a + 1).data, [2, 3, 4])
+        assert np.allclose((2 * a).data, [2, 4, 6])
+        assert np.allclose((a / 2).data, [0.5, 1.0, 1.5])
+        assert np.allclose((1.0 / a).data, [1.0, 0.5, 1 / 3])
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        gradient_check(lambda inp: (inp[0] @ inp[1]).sum(), [a, b])
+
+    def test_matrix_vector(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        gradient_check(lambda inp: (inp[0] @ inp[1]).sum(), [a, v])
+
+    def test_vector_vector(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        gradient_check(lambda inp: inp[0] @ inp[1], [a, b])
+
+    def test_vector_matrix(self, rng):
+        v = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda inp: (inp[0] @ inp[1]).sum(), [v, a])
+
+
+class TestShapeOps:
+    def test_transpose_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        gradient_check(lambda inp: (inp[0].transpose() * 2.0).sum(), [a])
+        assert a.T.shape == (5, 2)
+
+    def test_reshape_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        gradient_check(lambda inp: inp[0].reshape(3, 4).sum(axis=0).sum(), [a])
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_getitem_gradient(self, rng):
+        a = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        gradient_check(lambda inp: inp[0][1:4].sum(), [a])
+        gradient_check(lambda inp: inp[0][:, 1].sum(), [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        b = a[np.array([0, 0, 1])]
+        b.sum().backward()
+        assert np.allclose(a.grad, [2.0, 1.0, 0.0, 0.0])
+
+    def test_index_select_gradient(self, rng):
+        a = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        gradient_check(lambda inp: inp[0].index_select([0, 2, 2, 5]).sum(), [a])
+
+    def test_index_select_out_of_order(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3))
+        out = a.index_select([3, 0])
+        assert np.allclose(out.data, [[9, 10, 11], [0, 1, 2]])
+
+    def test_concat_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        gradient_check(lambda inp: Tensor.concat([inp[0], inp[1]], axis=0).sum(), [a, b])
+
+    def test_concat_axis1_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda inp: (Tensor.concat([inp[0], inp[1]], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        gradient_check(lambda inp: Tensor.stack([inp[0], inp[1]], axis=0).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_axis_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda inp: inp[0].sum(), [a])
+        gradient_check(lambda inp: inp[0].sum(axis=0).sum(), [a])
+        gradient_check(lambda inp: inp[0].sum(axis=1, keepdims=True).sum(), [a])
+
+    def test_mean_axis_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda inp: inp[0].mean(), [a])
+        gradient_check(lambda inp: inp[0].mean(axis=1).sum(), [a])
+
+    def test_max_gradient_unique_max(self):
+        a = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [[0, 1], [0, 0]])
+
+    def test_max_axis_value(self):
+        a = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        assert np.allclose(a.max(axis=1).data, [5.0, 3.0])
+
+
+class TestNonLinearities:
+    def test_relu_gradient(self, rng):
+        a = Tensor(rng.normal(size=(10,)), requires_grad=True)
+        gradient_check(lambda inp: inp[0].relu().sum(), [a])
+
+    def test_tanh_sigmoid_exp_log_gradients(self, rng):
+        a = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        positive = Tensor(np.abs(rng.normal(size=(6,))) + 0.5, requires_grad=True)
+        gradient_check(lambda inp: inp[0].tanh().sum(), [a])
+        gradient_check(lambda inp: inp[0].sigmoid().sum(), [a])
+        gradient_check(lambda inp: inp[0].exp().sum(), [a])
+        gradient_check(lambda inp: inp[0].log().sum(), [positive])
+
+    def test_clip_gradient_masks_out_of_range(self):
+        a = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_relu_value(self):
+        assert np.allclose(Tensor([-1.0, 2.0]).relu().data, [0.0, 2.0])

@@ -1,0 +1,133 @@
+"""Tests for the five baseline models (Wide&Deep, LightGCN, KGAT, SGL, SimGCL)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import interactions_to_arrays
+from repro.models import KGAT, SGL, LightGCN, SimGCL, WideAndDeep
+from repro.models.baselines.lightgcn import normalized_adjacency
+from repro.nn import Adam
+
+ALL_BASELINES = [WideAndDeep, LightGCN, KGAT, SGL, SimGCL]
+
+
+@pytest.fixture(scope="module")
+def batch(tiny_scenario):
+    return interactions_to_arrays(tiny_scenario.splits.train[:96])
+
+
+def _build(model_class, graph):
+    return model_class(graph, embedding_dim=8, seed=0)
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric_and_isolated_node_safe(self, rng):
+        upper = np.triu((rng.random((10, 10)) < 0.3).astype(float), k=1)
+        adjacency = upper + upper.T
+        adjacency[3, :] = 0.0
+        adjacency[:, 3] = 0.0
+        normalized = normalized_adjacency(adjacency)
+        assert np.allclose(normalized, normalized.T)
+        assert np.all(np.isfinite(normalized))
+        assert np.all(normalized[3] == 0.0)
+
+    def test_row_sums_bounded_by_one(self, rng):
+        upper = np.triu((rng.random((15, 15)) < 0.4).astype(float), k=1)
+        adjacency = upper + upper.T
+        normalized = normalized_adjacency(adjacency)
+        assert normalized.max() <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("model_class", ALL_BASELINES)
+class TestBaselineContract:
+    def test_training_loss_is_finite_and_differentiable(self, model_class, tiny_graph, batch):
+        model = _build(model_class, tiny_graph)
+        loss = model.training_loss(batch)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+        loss.backward()
+        assert any(parameter.grad is not None for parameter in model.parameters())
+
+    def test_predictions_are_probabilities(self, model_class, tiny_graph, batch):
+        model = _build(model_class, tiny_graph)
+        predictions = model.predict(batch.query_ids, batch.service_ids)
+        assert predictions.shape == (len(batch),)
+        assert np.all((predictions >= 0) & (predictions <= 1))
+
+    def test_embeddings_shapes(self, model_class, tiny_graph):
+        model = _build(model_class, tiny_graph)
+        assert model.query_embeddings().shape[0] == tiny_graph.num_queries
+        assert model.service_embeddings().shape[0] == tiny_graph.num_services
+
+    def test_one_optimisation_step_reduces_loss(self, model_class, tiny_graph, batch):
+        model = _build(model_class, tiny_graph)
+        optimizer = Adam(model.parameters(), lr=0.02)
+        first = model.training_loss(batch)
+        first_value = first.item()
+        first.backward()
+        optimizer.step()
+        model.invalidate_cache()
+        for _ in range(4):
+            optimizer.zero_grad()
+            loss = model.training_loss(batch)
+            loss.backward()
+            optimizer.step()
+            model.invalidate_cache()
+        assert model.training_loss(batch).item() < first_value
+
+    def test_model_name_is_set(self, model_class, tiny_graph):
+        model = _build(model_class, tiny_graph)
+        assert model.name and model.name != "model"
+
+
+class TestModelSpecificBehaviour:
+    def test_wide_features_are_attribute_match_indicators(self, tiny_scenario, batch):
+        model = _build(WideAndDeep, tiny_scenario.graph)
+        features = model._wide_features(batch.query_ids, batch.service_ids)
+        assert features.shape == (len(batch), 3)
+        assert np.all((features == 0) | (features == 1))
+
+    def test_lightgcn_propagation_has_no_transform_parameters(self, tiny_graph):
+        model = _build(LightGCN, tiny_graph)
+        names = [name for name, _ in model.named_parameters()]
+        # Only embeddings and the click head — no per-layer weight matrices.
+        assert all("gnn_layer" not in name for name in names)
+
+    def test_lightgcn_layer_outputs_count(self, tiny_graph):
+        model = LightGCN(tiny_graph, embedding_dim=8, num_layers=3, seed=0)
+        assert len(model.layer_outputs()) == 4
+
+    def test_kgat_attention_rows_are_masked(self, tiny_graph, rng):
+        model = _build(KGAT, tiny_graph)
+        representations = model.feature_encoder()
+        attention = model._attention(representations, 0).numpy()
+        assert np.all(attention[tiny_graph.adjacency == 0] == 0.0)
+
+    def test_sgl_ssl_weight_zero_equals_lightgcn_loss(self, tiny_graph, batch):
+        sgl = SGL(tiny_graph, embedding_dim=8, ssl_weight=0.0, seed=0)
+        lightgcn = LightGCN(tiny_graph, embedding_dim=8, seed=0)
+        assert sgl.training_loss(batch).item() == pytest.approx(
+            lightgcn.training_loss(batch).item()
+        )
+
+    def test_sgl_ssl_term_increases_loss(self, tiny_graph, batch):
+        without = SGL(tiny_graph, embedding_dim=8, ssl_weight=0.0, seed=0)
+        with_ssl = SGL(tiny_graph, embedding_dim=8, ssl_weight=0.5, seed=0)
+        assert with_ssl.training_loss(batch).item() > without.training_loss(batch).item()
+
+    def test_simgcl_noise_views_differ(self, tiny_graph):
+        model = SimGCL(tiny_graph, embedding_dim=8, noise_magnitude=0.2, seed=0)
+        view_a = model._noisy_readout().numpy()
+        view_b = model._noisy_readout().numpy()
+        assert not np.allclose(view_a, view_b)
+
+    def test_invalid_hyperparameters_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            SGL(tiny_graph, edge_dropout=1.0)
+        with pytest.raises(ValueError):
+            SGL(tiny_graph, ssl_weight=-0.1)
+        with pytest.raises(ValueError):
+            SimGCL(tiny_graph, noise_magnitude=-0.5)
+        with pytest.raises(ValueError):
+            LightGCN(tiny_graph, num_layers=0)
+        with pytest.raises(ValueError):
+            KGAT(tiny_graph, num_layers=0)

@@ -1,0 +1,76 @@
+"""Tests for the industrial (Sep. A/B/C) and Amazon dataset configurations."""
+
+import pytest
+
+from repro.data.amazon import AMAZON_DATASETS, amazon_config
+from repro.data.industrial import INDUSTRIAL_DATASETS, industrial_config
+from repro.data.synthetic import generate_dataset
+
+
+class TestIndustrialConfigs:
+    def test_three_windows_exist(self):
+        assert INDUSTRIAL_DATASETS == ("Sep. A", "Sep. B", "Sep. C")
+
+    def test_unknown_name_or_scale_rejected(self):
+        with pytest.raises(ValueError):
+            industrial_config("Sep. D")
+        with pytest.raises(ValueError):
+            industrial_config("Sep. A", scale="huge")
+
+    def test_windows_have_different_seeds(self):
+        seeds = {industrial_config(name, scale="tiny").seed for name in INDUSTRIAL_DATASETS}
+        assert len(seeds) == 3
+
+    def test_scales_are_ordered_by_size(self):
+        tiny = industrial_config("Sep. A", scale="tiny")
+        small = industrial_config("Sep. A", scale="small")
+        medium = industrial_config("Sep. A", scale="medium")
+        assert tiny.num_queries < small.num_queries < medium.num_queries
+        assert tiny.num_interactions < small.num_interactions < medium.num_interactions
+
+    def test_industrial_uses_deep_intention_trees(self):
+        config = industrial_config("Sep. B", scale="tiny")
+        assert config.intention_depth == 5
+        assert config.num_days == 10  # each window covers ten days
+
+    def test_generated_window_is_skewed_like_the_paper(self):
+        dataset = generate_dataset(industrial_config("Sep. A", scale="tiny"))
+        stats = dataset.statistics()
+        # The paper reports >90 % of PV on ~1 % of queries; at tiny scale we
+        # accept a looser but still strongly skewed shape.
+        assert stats.head_pv_fraction > 0.5
+
+
+class TestAmazonConfigs:
+    def test_three_domains_exist(self):
+        assert AMAZON_DATASETS == ("Software", "Video game", "Music")
+
+    def test_unknown_domain_or_scale_rejected(self):
+        with pytest.raises(ValueError):
+            amazon_config("Books")
+        with pytest.raises(ValueError):
+            amazon_config("Software", scale="giant")
+
+    def test_relative_sizes_follow_the_paper(self):
+        software = amazon_config("Software", scale="small")
+        video = amazon_config("Video game", scale="small")
+        music = amazon_config("Music", scale="small")
+        # Video game > Music > Software in users/items/interactions.
+        assert video.num_interactions > music.num_interactions > software.num_interactions
+        assert video.num_services > music.num_services > software.num_services
+
+    def test_software_has_flattest_head_share(self):
+        software = amazon_config("Software", scale="small")
+        video = amazon_config("Video game", scale="small")
+        assert software.head_fraction > video.head_fraction
+        assert software.zipf_exponent < video.zipf_exponent
+
+    def test_scaling_factor_changes_sizes(self):
+        tiny = amazon_config("Music", scale="tiny")
+        medium = amazon_config("Music", scale="medium")
+        assert tiny.num_queries < medium.num_queries
+
+    def test_amazon_dataset_generates_and_validates(self):
+        dataset = generate_dataset(amazon_config("Software", scale="tiny"))
+        dataset.validate()
+        assert dataset.name == "Software"

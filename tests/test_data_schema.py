@@ -1,0 +1,129 @@
+"""Tests for dataset schemas: validation, accessors and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    DatasetStatistics,
+    Intention,
+    Interaction,
+    Query,
+    Service,
+    ServiceSearchDataset,
+)
+
+
+def _minimal_dataset() -> ServiceSearchDataset:
+    intentions = [
+        Intention(intention_id=0, level=1, parent_id=None, children=[1]),
+        Intention(intention_id=1, level=2, parent_id=0),
+    ]
+    queries = [
+        Query(query_id=0, intention_id=1, frequency=90, attributes={"city": 1}),
+        Query(query_id=1, intention_id=1, frequency=10, attributes={"city": 2}),
+    ]
+    services = [Service(service_id=0, intention_id=1, mau=1000, rating=4)]
+    interactions = [
+        Interaction(query_id=0, service_id=0, clicked=1, timestamp=0),
+        Interaction(query_id=1, service_id=0, clicked=0, timestamp=1),
+    ]
+    return ServiceSearchDataset(
+        name="mini", queries=queries, services=services,
+        intentions=intentions, interactions=interactions,
+    )
+
+
+class TestSchemaBasics:
+    def test_intention_root_and_leaf_flags(self):
+        dataset = _minimal_dataset()
+        assert dataset.intentions[0].is_root and not dataset.intentions[0].is_leaf
+        assert dataset.intentions[1].is_leaf and not dataset.intentions[1].is_root
+
+    def test_service_quality_score_increases_with_mau_and_rating(self):
+        low = Service(service_id=0, intention_id=0, mau=10, rating=1)
+        high = Service(service_id=1, intention_id=0, mau=1_000_000, rating=5)
+        assert high.quality_score() > low.quality_score()
+
+    def test_counts_and_accessors(self):
+        dataset = _minimal_dataset()
+        assert dataset.num_queries == 2
+        assert dataset.num_services == 1
+        assert dataset.num_intentions == 2
+        assert dataset.num_interactions == 2
+        assert dataset.query_by_id(1).frequency == 10
+        assert dataset.service_by_id(0).mau == 1000
+        assert dataset.intention_by_id(0).level == 1
+
+    def test_query_frequencies_array(self):
+        assert np.allclose(_minimal_dataset().query_frequencies(), [90, 10])
+
+    def test_interaction_array_columns(self):
+        array = _minimal_dataset().interaction_array()
+        assert array.shape == (2, 5)
+        assert array[0, 2] == 1  # clicked flag of the first interaction
+
+    def test_empty_interaction_array(self):
+        dataset = _minimal_dataset()
+        dataset.interactions = []
+        assert dataset.interaction_array().shape == (0, 5)
+
+
+class TestValidation:
+    def test_valid_dataset_passes(self):
+        _minimal_dataset().validate()
+
+    def test_unknown_intention_reference_fails(self):
+        dataset = _minimal_dataset()
+        dataset.queries[0].intention_id = 99
+        with pytest.raises(ValueError):
+            dataset.validate()
+
+    def test_non_contiguous_query_ids_fail(self):
+        dataset = _minimal_dataset()
+        dataset.queries[1].query_id = 5
+        with pytest.raises(ValueError):
+            dataset.validate()
+
+    def test_interaction_with_unknown_service_fails(self):
+        dataset = _minimal_dataset()
+        dataset.interactions.append(Interaction(query_id=0, service_id=9, clicked=1, timestamp=0))
+        with pytest.raises(ValueError):
+            dataset.validate()
+
+    def test_non_binary_click_fails(self):
+        dataset = _minimal_dataset()
+        dataset.interactions[0].clicked = 3
+        with pytest.raises(ValueError):
+            dataset.validate()
+
+
+class TestStatistics:
+    def test_statistics_with_explicit_head(self):
+        dataset = _minimal_dataset()
+        stats = dataset.statistics(head_query_ids=[0], splits=(2, 0, 0))
+        assert stats.head_query_fraction == pytest.approx(0.5)
+        assert stats.head_pv_fraction == pytest.approx(0.9)
+        assert stats.tail_pv_fraction == pytest.approx(0.1)
+        assert stats.num_train == 2
+
+    def test_statistics_default_head_is_top_one_percent(self):
+        dataset = _minimal_dataset()
+        stats = dataset.statistics()
+        # With 2 queries, the top 1 % rounds up to a single head query.
+        assert stats.head_query_fraction == pytest.approx(0.5)
+
+    def test_statistics_as_row_keys(self):
+        row = _minimal_dataset().statistics().as_row()
+        for key in ("dataset", "queries_head_pct", "pv_head_pct", "train", "test"):
+            assert key in row
+
+    def test_dataclass_round_numbers(self):
+        stats = DatasetStatistics(
+            name="x", num_queries=10, num_services=5, num_interactions=100,
+            head_query_fraction=0.0123, tail_query_fraction=0.9877,
+            head_pv_fraction=0.91111, tail_pv_fraction=0.08889,
+            num_train=80, num_validation=10, num_test=10,
+        )
+        row = stats.as_row()
+        assert row["queries_head_pct"] == pytest.approx(1.23)
+        assert row["pv_head_pct"] == pytest.approx(91.11)

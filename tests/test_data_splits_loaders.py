@@ -1,0 +1,145 @@
+"""Tests for chronological / head-tail splitting and the batch loader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.loaders import BatchLoader, interactions_to_arrays
+from repro.data.schema import Interaction
+from repro.data.splits import chronological_split, head_tail_split, interactions_by_slice
+
+
+class TestChronologicalSplit:
+    def test_fractions_respected(self, tiny_dataset):
+        splits = chronological_split(tiny_dataset, validation_fraction=0.1, test_fraction=0.2)
+        total = tiny_dataset.num_interactions
+        assert len(splits.validation) == pytest.approx(0.1 * total, abs=2)
+        assert len(splits.test) == pytest.approx(0.2 * total, abs=2)
+        assert sum(splits.sizes) == total
+
+    def test_time_ordering_between_splits(self, tiny_dataset):
+        splits = chronological_split(tiny_dataset, validation_fraction=0.1, test_fraction=0.1)
+        latest_train = max(i.timestamp for i in splits.train)
+        earliest_test = min(i.timestamp for i in splits.test)
+        assert latest_train <= earliest_test
+
+    def test_invalid_fractions_raise(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            chronological_split(tiny_dataset, validation_fraction=0.6, test_fraction=0.5)
+        with pytest.raises(ValueError):
+            chronological_split(tiny_dataset, validation_fraction=-0.1)
+
+    def test_zero_fractions_put_everything_in_train(self, tiny_dataset):
+        splits = chronological_split(tiny_dataset, validation_fraction=0.0, test_fraction=0.0)
+        assert len(splits.train) == tiny_dataset.num_interactions
+        assert len(splits.validation) == 0 and len(splits.test) == 0
+
+
+class TestHeadTailSplit:
+    def test_head_queries_have_highest_traffic(self, tiny_dataset):
+        split = head_tail_split(tiny_dataset, head_fraction=0.05)
+        frequencies = tiny_dataset.query_frequencies()
+        min_head = min(frequencies[q] for q in split.head_query_ids)
+        max_tail = max(frequencies[q] for q in split.tail_query_ids)
+        assert min_head >= max_tail
+
+    def test_partition_is_exhaustive_and_disjoint(self, tiny_dataset):
+        split = head_tail_split(tiny_dataset, head_fraction=0.1)
+        assert split.head_query_ids.isdisjoint(split.tail_query_ids)
+        assert split.num_head + split.num_tail == tiny_dataset.num_queries
+
+    def test_head_count_variant(self, tiny_dataset):
+        split = head_tail_split(tiny_dataset, head_count=7)
+        assert split.num_head == 7
+
+    def test_cannot_give_both_fraction_and_count(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            head_tail_split(tiny_dataset, head_fraction=0.1, head_count=5)
+
+    def test_invalid_fraction_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            head_tail_split(tiny_dataset, head_fraction=1.5)
+
+    def test_membership_helpers(self, tiny_dataset):
+        split = head_tail_split(tiny_dataset, head_count=3)
+        head_id = next(iter(split.head_query_ids))
+        tail_id = next(iter(split.tail_query_ids))
+        assert split.is_head(head_id) and not split.is_tail(head_id)
+        assert split.is_tail(tail_id) and not split.is_head(tail_id)
+        assert len(split.head_array()) == 3
+
+    def test_interactions_by_slice_partitions(self, tiny_dataset):
+        split = head_tail_split(tiny_dataset, head_fraction=0.05)
+        head, tail = interactions_by_slice(tiny_dataset.interactions, split)
+        assert len(head) + len(tail) == tiny_dataset.num_interactions
+        assert all(split.is_head(i.query_id) for i in head)
+        assert all(split.is_tail(i.query_id) for i in tail)
+
+
+class TestBatchLoader:
+    def _interactions(self, count: int):
+        return [
+            Interaction(query_id=i % 7, service_id=i % 3, clicked=i % 2, timestamp=i % 5)
+            for i in range(count)
+        ]
+
+    def test_batches_cover_everything_once(self):
+        loader = BatchLoader(self._interactions(100), batch_size=32, shuffle=True, seed=0)
+        seen = sum(len(batch) for batch in loader)
+        assert seen == 100
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = BatchLoader(self._interactions(100), batch_size=32, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert all(len(batch) == 32 for batch in batches)
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        first = [b.query_ids.tolist() for b in BatchLoader(self._interactions(50), batch_size=10, seed=5)]
+        second = [b.query_ids.tolist() for b in BatchLoader(self._interactions(50), batch_size=10, seed=5)]
+        assert first == second
+
+    def test_no_shuffle_preserves_order(self):
+        loader = BatchLoader(self._interactions(10), batch_size=4, shuffle=False)
+        first_batch = next(iter(loader))
+        assert first_batch.query_ids.tolist() == [0, 1, 2, 3]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchLoader(self._interactions(5), batch_size=0)
+
+    def test_interactions_to_arrays_alignment(self):
+        batch = interactions_to_arrays(self._interactions(9))
+        assert len(batch) == 9
+        assert batch.labels.dtype == np.float64
+        assert batch.query_ids.shape == batch.service_ids.shape == batch.labels.shape
+
+    def test_empty_interactions(self):
+        batch = interactions_to_arrays([])
+        assert len(batch) == 0
+
+    def test_mismatched_batch_arrays_rejected(self):
+        from repro.data.loaders import InteractionBatch
+
+        with pytest.raises(ValueError):
+            InteractionBatch(
+                query_ids=np.zeros(3, dtype=np.int64),
+                service_ids=np.zeros(2, dtype=np.int64),
+                labels=np.zeros(3),
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(count=st.integers(1, 200), batch_size=st.integers(1, 64))
+def test_loader_batch_sizes_property(count, batch_size):
+    interactions = [
+        Interaction(query_id=i, service_id=0, clicked=0, timestamp=0) for i in range(count)
+    ]
+    loader = BatchLoader(interactions, batch_size=batch_size, shuffle=True, seed=1)
+    batches = list(loader)
+    assert sum(len(b) for b in batches) == count
+    assert all(len(b) <= batch_size for b in batches)
+    # Every query id appears exactly once across the epoch.
+    seen = sorted(q for b in batches for q in b.query_ids.tolist())
+    assert seen == list(range(count))

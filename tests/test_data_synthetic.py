@@ -1,0 +1,187 @@
+"""Tests for the synthetic long-tail data generator and its click oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.schema import CORRELATION_ATTRIBUTES
+from repro.data.synthetic import SyntheticConfig, SyntheticDataGenerator, generate_dataset
+
+
+SMALL_CONFIG = SyntheticConfig(
+    name="unit",
+    num_queries=120,
+    num_services=40,
+    num_interactions=3_000,
+    total_page_views=50_000,
+    num_intention_trees=3,
+    intention_depth=4,
+    head_fraction=0.05,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    generator = SyntheticDataGenerator(SMALL_CONFIG)
+    dataset = generator.generate()
+    return generator, dataset
+
+
+class TestConfigValidation:
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_queries=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_interactions=0)
+
+    def test_depth_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(intention_depth=6)
+        with pytest.raises(ValueError):
+            SyntheticConfig(intention_depth=0)
+
+    def test_head_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(head_fraction=0.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(zipf_exponent=0.0)
+
+
+class TestGeneratedEntities:
+    def test_counts_match_config(self, generated):
+        _, dataset = generated
+        assert dataset.num_queries == SMALL_CONFIG.num_queries
+        assert dataset.num_services == SMALL_CONFIG.num_services
+        assert dataset.num_interactions >= SMALL_CONFIG.num_interactions * 0.8
+
+    def test_dataset_passes_validation(self, generated):
+        _, dataset = generated
+        dataset.validate()
+
+    def test_intention_forest_depth_and_trees(self, generated):
+        _, dataset = generated
+        levels = [i.level for i in dataset.intentions]
+        trees = {i.tree_id for i in dataset.intentions}
+        assert max(levels) == SMALL_CONFIG.intention_depth
+        assert len(trees) == SMALL_CONFIG.num_intention_trees
+
+    def test_every_entity_attached_to_leaf_intention(self, generated):
+        _, dataset = generated
+        for query in dataset.queries:
+            assert dataset.intention_by_id(query.intention_id).is_leaf
+        for service in dataset.services:
+            assert dataset.intention_by_id(service.intention_id).is_leaf
+
+    def test_entities_have_all_correlation_attributes(self, generated):
+        _, dataset = generated
+        for query in dataset.queries:
+            assert set(CORRELATION_ATTRIBUTES) <= set(query.attributes)
+        for service in dataset.services:
+            assert set(CORRELATION_ATTRIBUTES) <= set(service.attributes)
+
+    def test_service_quality_fields_in_range(self, generated):
+        _, dataset = generated
+        for service in dataset.services:
+            assert service.mau >= 0
+            assert 1 <= service.rating <= 5
+
+
+class TestLongTailShape:
+    def test_traffic_is_heavily_skewed(self, generated):
+        _, dataset = generated
+        frequencies = np.sort(dataset.query_frequencies())[::-1]
+        head_count = max(1, int(round(0.05 * len(frequencies))))
+        head_share = frequencies[:head_count].sum() / frequencies.sum()
+        assert head_share > 0.6  # a handful of queries dominate traffic
+
+    def test_every_query_has_positive_frequency(self, generated):
+        _, dataset = generated
+        assert dataset.query_frequencies().min() >= 1
+
+    def test_head_queries_receive_more_exposures(self, generated):
+        _, dataset = generated
+        frequencies = dataset.query_frequencies()
+        head_query = int(np.argmax(frequencies))
+        tail_query = int(np.argmin(frequencies))
+        exposures = np.bincount(
+            [i.query_id for i in dataset.interactions], minlength=dataset.num_queries
+        )
+        assert exposures[head_query] > exposures[tail_query]
+
+    def test_interactions_span_the_configured_days(self, generated):
+        _, dataset = generated
+        timestamps = {i.timestamp for i in dataset.interactions}
+        assert min(timestamps) >= 0
+        assert max(timestamps) < SMALL_CONFIG.num_days
+
+
+class TestClickOracle:
+    def test_probabilities_are_valid(self, generated):
+        generator, dataset = generated
+        queries = np.arange(dataset.num_queries)
+        services = np.zeros(dataset.num_queries, dtype=int)
+        clicks = generator.oracle.click_probability(queries, services)
+        conversions = generator.oracle.conversion_probability(queries, services)
+        assert np.all((clicks >= 0) & (clicks <= 1))
+        assert np.all((conversions >= 0) & (conversions <= 1))
+
+    def test_relevant_pairs_click_more(self, generated):
+        generator, dataset = generated
+        relevance = generator.oracle.relevance
+        best = np.unravel_index(np.argmax(relevance), relevance.shape)
+        worst = np.unravel_index(np.argmin(relevance), relevance.shape)
+        best_p = generator.oracle.click_probability([best[0]], [best[1]])[0]
+        worst_p = generator.oracle.click_probability([worst[0]], [worst[1]])[0]
+        assert best_p > worst_p
+
+    def test_same_intention_pairs_are_more_relevant_on_average(self, generated):
+        generator, dataset = generated
+        relevance = generator.oracle.relevance
+        same, different = [], []
+        for query in dataset.queries[:40]:
+            for service in dataset.services:
+                value = relevance[query.query_id, service.service_id]
+                if query.intention_id == service.intention_id:
+                    same.append(value)
+                else:
+                    different.append(value)
+        if same and different:
+            assert np.mean(same) > np.mean(different)
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        first = generate_dataset(SMALL_CONFIG)
+        second = generate_dataset(SMALL_CONFIG)
+        assert np.allclose(first.query_frequencies(), second.query_frequencies())
+        assert first.interaction_array().tolist() == second.interaction_array().tolist()
+
+    def test_different_seed_different_interactions(self):
+        other = SyntheticConfig(**{**SMALL_CONFIG.__dict__, "seed": 99})
+        first = generate_dataset(SMALL_CONFIG)
+        second = generate_dataset(other)
+        assert first.interaction_array().tolist() != second.interaction_array().tolist()
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    num_queries=st.integers(30, 80),
+    num_services=st.integers(10, 30),
+    depth=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+def test_generator_always_produces_consistent_datasets(num_queries, num_services, depth, seed):
+    config = SyntheticConfig(
+        num_queries=num_queries,
+        num_services=num_services,
+        num_interactions=800,
+        total_page_views=5_000,
+        intention_depth=depth,
+        num_intention_trees=2,
+        seed=seed,
+    )
+    dataset = generate_dataset(config)
+    dataset.validate()
+    assert dataset.num_queries == num_queries
+    assert max(i.level for i in dataset.intentions) == depth

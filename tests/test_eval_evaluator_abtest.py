@@ -1,0 +1,157 @@
+"""Tests for the per-slice evaluator, the reporting helpers and the A/B simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import head_tail_split
+from repro.eval.ab_test import ABTestConfig, OnlineABTest
+from repro.eval.evaluator import Evaluator
+from repro.eval.reporting import format_float_table, format_table
+
+
+class OracleModel:
+    """Scores pairs with the ground-truth click probability (upper bound)."""
+
+    name = "oracle"
+
+    def __init__(self, oracle):
+        self._oracle = oracle
+
+    def predict(self, query_ids, service_ids):
+        return self._oracle.click_probability(query_ids, service_ids)
+
+
+class RandomModel:
+    name = "random"
+
+    def __init__(self, seed=0):
+        self._rng = np.random.default_rng(seed)
+
+    def predict(self, query_ids, service_ids):
+        return self._rng.random(len(query_ids))
+
+
+class OracleRanker:
+    """Ranks services by ground-truth click probability for a query."""
+
+    def __init__(self, oracle, num_services):
+        self._oracle = oracle
+        self._num_services = num_services
+
+    def rank(self, query_id, k):
+        scores = self._oracle.click_probability(
+            np.full(self._num_services, query_id), np.arange(self._num_services)
+        )
+        return np.argsort(-scores)[:k]
+
+
+class WorstRanker(OracleRanker):
+    def rank(self, query_id, k):
+        scores = self._oracle.click_probability(
+            np.full(self._num_services, query_id), np.arange(self._num_services)
+        )
+        return np.argsort(scores)[:k]
+
+
+class TestEvaluator:
+    def test_oracle_beats_random(self, tiny_scenario):
+        evaluator = Evaluator()
+        oracle_report = evaluator.evaluate(
+            OracleModel(tiny_scenario.oracle), tiny_scenario.splits.test, tiny_scenario.head_tail
+        )
+        random_report = evaluator.evaluate(
+            RandomModel(), tiny_scenario.splits.test, tiny_scenario.head_tail
+        )
+        assert oracle_report.overall.auc > random_report.overall.auc
+        assert oracle_report.overall.auc > 0.7
+        assert abs(random_report.overall.auc - 0.5) < 0.1
+
+    def test_report_has_all_slices(self, tiny_scenario):
+        report = Evaluator().evaluate(
+            OracleModel(tiny_scenario.oracle), tiny_scenario.splits.test, tiny_scenario.head_tail
+        )
+        assert set(report.slices) == {"head", "tail", "overall"}
+        assert report.head.num_interactions + report.tail.num_interactions == report.overall.num_interactions
+        row = report.as_row()
+        assert {"model", "head_auc", "tail_auc", "overall_auc"} <= set(row)
+
+    def test_model_name_defaults_to_attribute(self, tiny_scenario):
+        report = Evaluator().evaluate(
+            OracleModel(tiny_scenario.oracle), tiny_scenario.splits.test, tiny_scenario.head_tail
+        )
+        assert report.model_name == "oracle"
+
+    def test_empty_interactions_rejected(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            Evaluator().evaluate(RandomModel(), [], tiny_scenario.head_tail)
+
+    def test_batched_scoring_matches_single_shot(self, tiny_scenario):
+        model = OracleModel(tiny_scenario.oracle)
+        small_batches = Evaluator(batch_size=7)
+        one_shot = Evaluator(batch_size=10_000)
+        a = small_batches.evaluate(model, tiny_scenario.splits.test, tiny_scenario.head_tail)
+        b = one_shot.evaluate(model, tiny_scenario.splits.test, tiny_scenario.head_tail)
+        assert a.overall.auc == pytest.approx(b.overall.auc)
+
+    def test_invalid_ndcg_k(self):
+        with pytest.raises(ValueError):
+            Evaluator(ndcg_k=0)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_headers(self):
+        rows = [{"model": "GARCIA", "auc": 0.93}, {"model": "LightGCN", "auc": 0.91}]
+        text = format_table(rows, title="Table")
+        assert "Table" in text and "model" in text and "GARCIA" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="T")
+
+    def test_format_float_table_rounds(self):
+        text = format_float_table([{"value": 0.123456789}], precision=3)
+        assert "0.123" in text and "0.1235" not in text
+
+
+class TestABTest:
+    def test_better_ranker_wins(self, tiny_scenario):
+        config = ABTestConfig(num_days=3, sessions_per_day=300, top_k=3, seed=1)
+        test = OnlineABTest(tiny_scenario.dataset, tiny_scenario.oracle, config=config)
+        good = OracleRanker(tiny_scenario.oracle, tiny_scenario.dataset.num_services)
+        bad = WorstRanker(tiny_scenario.oracle, tiny_scenario.dataset.num_services)
+        outcome = test.run(bad, good)
+        assert outcome.absolute_ctr_gain() > 0
+        assert all(improvement > 0 for improvement in outcome.ctr_improvement())
+        assert len(outcome.days) == 3
+        assert outcome.days[0] == "2022/10/01"
+
+    def test_identical_rankers_give_small_difference(self, tiny_scenario):
+        config = ABTestConfig(num_days=2, sessions_per_day=400, top_k=3, seed=2)
+        test = OnlineABTest(tiny_scenario.dataset, tiny_scenario.oracle, config=config)
+        ranker = OracleRanker(tiny_scenario.oracle, tiny_scenario.dataset.num_services)
+        outcome = test.run(ranker, ranker)
+        assert abs(outcome.absolute_ctr_gain()) < 5.0
+
+    def test_as_rows_structure(self, tiny_scenario):
+        config = ABTestConfig(num_days=2, sessions_per_day=100, top_k=2, seed=0)
+        test = OnlineABTest(tiny_scenario.dataset, tiny_scenario.oracle, config=config)
+        ranker = OracleRanker(tiny_scenario.oracle, tiny_scenario.dataset.num_services)
+        rows = test.run(ranker, ranker).as_rows()
+        assert len(rows) == 2
+        assert {"day", "ctr_improvement_pct", "valid_ctr_improvement_pct"} <= set(rows[0])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ABTestConfig(num_days=0)
+        with pytest.raises(ValueError):
+            ABTestConfig(top_k=10, position_bias=(1.0, 0.5))
+
+    def test_metrics_are_counted(self, tiny_scenario):
+        config = ABTestConfig(num_days=1, sessions_per_day=200, top_k=3, seed=3)
+        test = OnlineABTest(tiny_scenario.dataset, tiny_scenario.oracle, config=config)
+        ranker = OracleRanker(tiny_scenario.oracle, tiny_scenario.dataset.num_services)
+        outcome = test.run(ranker, ranker)
+        bucket = outcome.baseline[0]
+        assert bucket.impressions > 0
+        assert 0 <= bucket.clicks <= bucket.impressions
+        assert 0 <= bucket.conversions <= bucket.clicks

@@ -1,0 +1,155 @@
+"""Tests for ranking metrics: AUC, GAUC, NDCG@K, CTR and hit rate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.metrics import auc, ctr, dcg_at_k, gauc, hit_rate_at_k, ndcg_at_k
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        assert auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert abs(auc(labels, scores) - 0.5) < 0.03
+
+    def test_ties_get_half_credit(self):
+        assert auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_is_nan(self):
+        assert np.isnan(auc([1, 1, 1], [0.1, 0.5, 0.9]))
+        assert np.isnan(auc([0, 0], [0.1, 0.9]))
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(ValueError):
+            auc([0, 2], [0.1, 0.2])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            auc([0, 1, 1], [0.5, 0.5])
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 2, size=60)
+        if labels.sum() in (0, 60):
+            labels[0] = 1 - labels[0]
+        scores = rng.random(60)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in positives for n in negatives)
+        expected = wins / (len(positives) * len(negatives))
+        assert auc(labels, scores) == pytest.approx(expected)
+
+
+class TestGAUC:
+    def test_weighted_average_of_group_aucs(self):
+        labels = [1, 0, 1, 0, 0, 1]
+        scores = [0.9, 0.1, 0.2, 0.8, 0.4, 0.6]
+        groups = [0, 0, 1, 1, 2, 2]
+        per_group = [auc(labels[:2], scores[:2]), auc(labels[2:4], scores[2:4]), auc(labels[4:], scores[4:])]
+        expected = np.average(per_group, weights=[2, 2, 2])
+        assert gauc(labels, scores, groups) == pytest.approx(expected)
+
+    def test_single_class_groups_are_skipped(self):
+        labels = [1, 1, 0, 1]
+        scores = [0.3, 0.6, 0.1, 0.9]
+        groups = [0, 0, 1, 1]
+        assert gauc(labels, scores, groups) == pytest.approx(auc(labels[2:], scores[2:]))
+
+    def test_all_degenerate_groups_give_nan(self):
+        assert np.isnan(gauc([1, 1], [0.2, 0.3], [0, 1]))
+
+    def test_custom_weights(self):
+        labels = [1, 0, 0, 1]
+        scores = [0.9, 0.1, 0.9, 0.1]
+        groups = [0, 0, 1, 1]
+        weighted = gauc(labels, scores, groups, weights=[10, 10, 1, 1])
+        assert weighted > 0.5  # the good group dominates
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gauc([1, 0], [0.5], [0, 0])
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        labels = [1, 0, 0, 1, 0]
+        scores = [0.9, 0.1, 0.2, 0.8, 0.3]
+        assert ndcg_at_k(labels, scores, [0] * 5, k=5) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        labels = [1, 0, 0, 0]
+        scores = [0.1, 0.9, 0.8, 0.7]
+        value = ndcg_at_k(labels, scores, [0] * 4, k=4)
+        assert value == pytest.approx(1.0 / np.log2(5))
+
+    def test_truncation_at_k(self):
+        labels = [0, 0, 0, 1]
+        scores = [0.9, 0.8, 0.7, 0.1]
+        assert ndcg_at_k(labels, scores, [0] * 4, k=2) == pytest.approx(0.0)
+
+    def test_groups_without_positives_are_skipped(self):
+        labels = [0, 0, 1, 0]
+        scores = [0.5, 0.6, 0.9, 0.2]
+        groups = [0, 0, 1, 1]
+        assert ndcg_at_k(labels, scores, groups, k=2) == pytest.approx(1.0)
+
+    def test_all_negative_returns_nan(self):
+        assert np.isnan(ndcg_at_k([0, 0], [0.2, 0.4], [0, 0], k=2))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([1], [0.5], [0], k=0)
+
+    def test_dcg_helper(self):
+        assert dcg_at_k([1, 1, 0], k=2) == pytest.approx(1.0 + 1.0 / np.log2(3))
+        assert dcg_at_k([], k=3) == 0.0
+
+
+class TestCTRAndHitRate:
+    def test_ctr_simple_ratio(self):
+        assert ctr([1, 0, 1, 0]) == pytest.approx(0.5)
+        assert ctr([1, 1], impressions=10) == pytest.approx(0.2)
+        assert np.isnan(ctr([]))
+
+    def test_hit_rate_counts_groups_with_top_k_hits(self):
+        labels = [1, 0, 0, 0, 0, 1]
+        scores = [0.9, 0.5, 0.4, 0.9, 0.8, 0.1]
+        groups = [0, 0, 0, 1, 1, 1]
+        assert hit_rate_at_k(labels, scores, groups, k=1) == pytest.approx(0.5)
+        assert hit_rate_at_k(labels, scores, groups, k=3) == pytest.approx(1.0)
+
+    def test_hit_rate_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k([1], [0.1], [0], k=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 60), st.integers(0, 500))
+def test_auc_invariant_to_monotonic_transform(size, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=size)
+    if labels.sum() in (0, size):
+        labels[0] = 1 - labels[0]
+    scores = rng.normal(size=size)
+    original = auc(labels, scores)
+    transformed = auc(labels, 1.0 / (1.0 + np.exp(-3.0 * scores)))
+    assert original == pytest.approx(transformed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 40), st.integers(0, 500))
+def test_auc_complement_symmetry(size, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=size)
+    if labels.sum() in (0, size):
+        labels[0] = 1 - labels[0]
+    scores = rng.random(size)
+    assert auc(labels, scores) == pytest.approx(1.0 - auc(labels, -scores))

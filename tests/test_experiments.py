@@ -1,0 +1,150 @@
+"""Tests for the experiment drivers (one per table / figure of the paper).
+
+These run the drivers at the smallest possible scale — the goal is to verify
+the plumbing (rows, columns, variants, series) rather than the scientific
+shapes, which the benchmark harness is responsible for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_adaptive_encoding,
+    fig4_mgcl_ablation,
+    fig5_alpha,
+    fig7_tree_depth,
+    fig10_online_ab,
+    fig11_case_study,
+    table1_datasets,
+    table2_graphs,
+    table3_auc,
+    table4_tail_ranking,
+)
+from repro.experiments.common import (
+    ALL_MODEL_NAMES,
+    ExperimentSettings,
+    all_dataset_names,
+    build_model,
+    dataset_config,
+    scenario_for,
+    train_and_evaluate,
+)
+
+
+FAST = ExperimentSettings(
+    scale="tiny",
+    embedding_dim=8,
+    pretrain_epochs=1,
+    finetune_epochs=1,
+    learning_rate=5e-3,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def sep_a_scenario():
+    return scenario_for("Sep. A", FAST)
+
+
+class TestCommonHelpers:
+    def test_all_dataset_names(self):
+        names = all_dataset_names()
+        assert len(names) == 6
+        assert "Sep. A" in names and "Software" in names
+        assert len(all_dataset_names(include_amazon=False)) == 3
+
+    def test_dataset_config_resolution(self):
+        assert dataset_config("Sep. B", "tiny").name == "Sep. B"
+        assert dataset_config("Music", "tiny").name == "Music"
+        with pytest.raises(ValueError):
+            dataset_config("Unknown", "tiny")
+
+    def test_build_model_knows_every_table3_name(self, sep_a_scenario):
+        for name in ALL_MODEL_NAMES:
+            model = build_model(name, sep_a_scenario, FAST)
+            assert model.graph is sep_a_scenario.graph
+        with pytest.raises(ValueError):
+            build_model("DeepFM", sep_a_scenario, FAST)
+
+    def test_garcia_config_uses_experiment_dimensions(self):
+        config = FAST.garcia_config(alpha=0.3)
+        assert config.embedding_dim == FAST.embedding_dim
+        assert config.alpha == pytest.approx(0.3)
+
+    def test_train_and_evaluate_returns_report(self, sep_a_scenario):
+        _, report = train_and_evaluate("LightGCN", sep_a_scenario, FAST)
+        assert 0.0 <= report.overall.auc <= 1.0
+
+
+class TestTableDrivers:
+    def test_table1_rows(self):
+        result = table1_datasets.run(FAST, datasets=["Sep. A", "Software"])
+        assert len(result.rows) == 2
+        assert {"dataset", "queries_head_pct", "pv_head_pct"} <= set(result.rows[0])
+        assert result.rows[0]["pv_head_pct"] > result.rows[0]["queries_head_pct"]
+
+    def test_table2_rows(self):
+        result = table2_graphs.run(FAST, datasets=["Sep. A"])
+        row = result.rows[0]
+        assert row["head_edges"] >= 0 and row["tail_edges"] > 0
+        assert row["intention_nodes"] > 0
+
+    def test_table3_structure_with_two_models(self):
+        result = table3_auc.run(FAST, datasets=["Sep. A"], models=["LightGCN", "GARCIA"])
+        model_rows = [row for row in result.rows if row["model"] in ("LightGCN", "GARCIA")]
+        assert len(model_rows) == 2
+        assert all(0.0 <= row["overall_auc"] <= 1.0 for row in model_rows)
+        improvement_rows = [row for row in result.rows if "vs best" in str(row["model"])]
+        assert len(improvement_rows) == 1
+
+    def test_table4_reports_lightgcn_reference(self):
+        result = table4_tail_ranking.run(FAST, datasets=["Sep. A"], models=["LightGCN", "Wide&Deep"])
+        reference_rows = [row for row in result.rows if row["model"] == "LightGCN"]
+        assert reference_rows[0]["gauc_vs_lightgcn_pct"] == pytest.approx(0.0)
+        assert {"tail_gauc", "tail_ndcg10"} <= set(result.rows[0])
+
+
+class TestFigureDrivers:
+    def test_fig3_compares_share_and_adaptive(self):
+        result = fig3_adaptive_encoding.run(FAST, datasets=["Sep. A"])
+        variants = {row["variant"] for row in result.rows}
+        assert variants == {"GARCIA", "GARCIA-Share"}
+
+    def test_fig4_contains_all_variants(self):
+        result = fig4_mgcl_ablation.run(FAST, datasets=["Sep. A"])
+        variants = [row["variant"] for row in result.rows]
+        assert variants == [
+            "GARCIA w.o. ALL", "GARCIA w.o. IG&SE", "GARCIA w.o. IG", "GARCIA w.o. SE", "GARCIA",
+        ]
+        assert all("head_auc" in row for row in result.rows)
+
+    def test_fig5_sweep_rows_and_series(self):
+        result = fig5_alpha.run(FAST, values=(0.0, 0.1))
+        assert [row["alpha"] for row in result.rows] == [0.0, 0.1]
+        assert "alpha=0.1/tail_auc" in result.series
+        assert len(result.series["alpha=0.1/tail_auc"]) == FAST.finetune_epochs
+
+    def test_fig7_includes_reference_and_levels(self):
+        result = fig7_tree_depth.run(FAST, levels=(1, 2))
+        h_values = [row["H"] for row in result.rows]
+        assert h_values[0] == "none"
+        assert set(h_values[1:]) == {1, 2}
+
+    def test_fig10_ab_test_rows_and_notes(self):
+        result = fig10_online_ab.run(
+            FAST, baseline_model="LightGCN", num_days=2, sessions_per_day=100, top_k=3
+        )
+        assert len(result.rows) == 2
+        assert "ctr_improvement_pct" in result.rows[0]
+        assert "absolute CTR gain" in result.notes
+        assert len(result.series["ctr_improvement_pct"]) == 2
+
+    def test_fig11_case_study_lists(self):
+        result = fig11_case_study.run(
+            FAST, baseline_model="LightGCN", num_case_queries=1, top_k=3
+        )
+        systems = {row["system"] for row in result.rows}
+        assert systems == {"BASELINE", "GARCIA"}
+        assert len(result.rows) == 6  # 1 query × 2 systems × top-3
+        assert all(row["rank"] in (1, 2, 3) for row in result.rows)
+        assert any("mean_quality" in key for key in result.series)

@@ -1,0 +1,192 @@
+"""Tests for anchor-pair mining and the KTCL / SECL / IGCL contrastive losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data.schema import CORRELATION_ATTRIBUTES
+from repro.models.garcia import contrastive
+from repro.models.garcia.anchor_pairs import anchor_mapping, coverage, mine_anchor_pairs
+
+
+class TestAnchorPairMining:
+    def test_pairs_map_tail_to_head(self, tiny_scenario):
+        pairs = mine_anchor_pairs(
+            tiny_scenario.dataset, tiny_scenario.head_tail, tiny_scenario.forest,
+            min_shared_attributes=1,
+        )
+        assert pairs, "expected at least one anchor pair on the tiny scenario"
+        for tail_id, pair in pairs.items():
+            assert tiny_scenario.head_tail.is_tail(tail_id)
+            assert tiny_scenario.head_tail.is_head(pair.head_query_id)
+            assert pair.tail_query_id == tail_id
+
+    def test_shared_attribute_criterion_enforced(self, tiny_scenario):
+        pairs = mine_anchor_pairs(
+            tiny_scenario.dataset, tiny_scenario.head_tail, tiny_scenario.forest,
+            min_shared_attributes=2,
+        )
+        for tail_id, pair in pairs.items():
+            tail_query = tiny_scenario.dataset.query_by_id(tail_id)
+            head_query = tiny_scenario.dataset.query_by_id(pair.head_query_id)
+            shared = sum(
+                1 for key in CORRELATION_ATTRIBUTES
+                if tail_query.attributes.get(key) == head_query.attributes.get(key)
+            )
+            assert shared >= 2
+            assert pair.shared_attributes == shared
+
+    def test_strict_threshold_reduces_coverage(self, tiny_scenario):
+        loose = mine_anchor_pairs(tiny_scenario.dataset, tiny_scenario.head_tail,
+                                  tiny_scenario.forest, min_shared_attributes=1)
+        strict = mine_anchor_pairs(tiny_scenario.dataset, tiny_scenario.head_tail,
+                                   tiny_scenario.forest, min_shared_attributes=3)
+        assert len(strict) <= len(loose)
+        assert coverage(strict, tiny_scenario.head_tail) <= coverage(loose, tiny_scenario.head_tail)
+
+    def test_exposure_breaks_ties(self, tiny_scenario):
+        """Among equally relevant head candidates the most exposed one wins."""
+        pairs = mine_anchor_pairs(tiny_scenario.dataset, tiny_scenario.head_tail,
+                                  tiny_scenario.forest, min_shared_attributes=0)
+        dataset = tiny_scenario.dataset
+        forest = tiny_scenario.forest
+        from repro.models.garcia.anchor_pairs import _semantic_relevance
+
+        for tail_id, pair in list(pairs.items())[:25]:
+            tail_query = dataset.query_by_id(tail_id)
+            chosen = dataset.query_by_id(pair.head_query_id)
+            for head_id in tiny_scenario.head_tail.head_query_ids:
+                other = dataset.query_by_id(head_id)
+                other_score = _semantic_relevance(tail_query.intention_id, other.intention_id, forest)
+                other_score += 0.25 * sum(
+                    1 for key in CORRELATION_ATTRIBUTES
+                    if tail_query.attributes.get(key) == other.attributes.get(key)
+                )
+                if other_score > pair.semantic_score:
+                    pytest.fail("a more relevant head candidate was skipped")
+                if other_score == pair.semantic_score and other.frequency > chosen.frequency:
+                    pytest.fail("a more exposed equally-relevant head candidate was skipped")
+
+    def test_anchor_mapping_and_negative_validation(self, tiny_scenario):
+        pairs = mine_anchor_pairs(tiny_scenario.dataset, tiny_scenario.head_tail, tiny_scenario.forest)
+        mapping = anchor_mapping(pairs)
+        assert set(mapping) == set(pairs)
+        with pytest.raises(ValueError):
+            mine_anchor_pairs(tiny_scenario.dataset, tiny_scenario.head_tail,
+                              tiny_scenario.forest, min_shared_attributes=-1)
+
+
+class TestKTCL:
+    def test_query_loss_lower_when_anchor_matches(self, rng):
+        tails = Tensor(rng.normal(size=(6, 8)))
+        aligned = Tensor(tails.numpy() + 0.01 * rng.normal(size=(6, 8)))
+        random_heads = Tensor(rng.normal(size=(6, 8)))
+        negatives = Tensor(rng.normal(size=(10, 8)))
+        good = contrastive.ktcl_query_loss(tails, aligned, negatives, temperature=0.1).item()
+        bad = contrastive.ktcl_query_loss(tails, random_heads, negatives, temperature=0.1).item()
+        assert good < bad
+
+    def test_query_loss_without_batch_heads_falls_back_to_in_batch(self, rng):
+        tails = Tensor(rng.normal(size=(5, 8)))
+        heads = Tensor(rng.normal(size=(5, 8)))
+        loss = contrastive.ktcl_query_loss(tails, heads, None, temperature=0.2)
+        assert np.isfinite(loss.item())
+
+    def test_service_loss_symmetric_and_positive(self, rng):
+        head_view = Tensor(rng.normal(size=(7, 8)))
+        tail_view = Tensor(rng.normal(size=(7, 8)))
+        loss = contrastive.ktcl_service_loss(head_view, tail_view, temperature=0.2)
+        assert loss.item() > 0
+
+    def test_service_loss_lower_for_aligned_views(self, rng):
+        base = rng.normal(size=(7, 8))
+        aligned = contrastive.ktcl_service_loss(
+            Tensor(base), Tensor(base + 0.01 * rng.normal(size=(7, 8))), temperature=0.1
+        ).item()
+        misaligned = contrastive.ktcl_service_loss(
+            Tensor(base), Tensor(rng.normal(size=(7, 8))), temperature=0.1
+        ).item()
+        assert aligned < misaligned
+
+
+class TestSECL:
+    def test_loss_positive_and_averaged_over_layers(self, rng):
+        layer0 = Tensor(rng.normal(size=(20, 8)))
+        layer1 = Tensor(rng.normal(size=(20, 8)))
+        layer2 = Tensor(rng.normal(size=(20, 8)))
+        nodes = np.arange(10)
+        loss = contrastive.secl_loss([layer0, layer1, layer2], nodes, temperature=0.2)
+        assert loss.item() > 0
+
+    def test_aligned_layers_give_lower_loss(self, rng):
+        layer0 = Tensor(rng.normal(size=(16, 8)))
+        aligned = Tensor(layer0.numpy() + 0.01 * rng.normal(size=(16, 8)))
+        shuffled = Tensor(rng.permutation(layer0.numpy()))
+        nodes = np.arange(16)
+        good = contrastive.secl_loss([layer0, aligned], nodes, temperature=0.1).item()
+        bad = contrastive.secl_loss([layer0, shuffled], nodes, temperature=0.1).item()
+        assert good < bad
+
+    def test_empty_node_selection_gives_zero(self, rng):
+        layers = [Tensor(rng.normal(size=(5, 4))), Tensor(rng.normal(size=(5, 4)))]
+        assert contrastive.secl_loss(layers, np.zeros(0, dtype=np.int64), 0.1).item() == 0.0
+
+    def test_requires_at_least_one_propagation_layer(self, rng):
+        with pytest.raises(ValueError):
+            contrastive.secl_loss([Tensor(rng.normal(size=(4, 4)))], np.arange(2), 0.1)
+
+
+class TestIGCL:
+    def test_build_pairs_structure(self, tiny_forest, rng):
+        intentions = [tiny_forest.nodes_at_level(tiny_forest.max_level)[0]] * 3
+        anchors, positives, negatives, weights = contrastive.build_igcl_pairs(
+            intentions, tiny_forest, num_negatives=4, rng=rng
+        )
+        assert anchors.shape == positives.shape == weights.shape
+        assert negatives.shape == (len(anchors), 4)
+        # Each entity's chain weights sum to one.
+        for row in np.unique(anchors):
+            assert weights[anchors == row].sum() == pytest.approx(1.0)
+
+    def test_build_pairs_respects_max_level(self, tiny_forest, rng):
+        leaf = int(tiny_forest.nodes_at_level(tiny_forest.max_level)[0])
+        full = contrastive.build_igcl_pairs([leaf], tiny_forest, 2, rng, max_level=None)
+        truncated = contrastive.build_igcl_pairs([leaf], tiny_forest, 2, rng, max_level=1)
+        assert len(truncated[0]) == 1
+        assert len(full[0]) == tiny_forest.level(leaf)
+
+    def test_loss_lower_when_entity_matches_its_intentions(self, tiny_forest, rng):
+        dim = 8
+        intention_repr = Tensor(rng.normal(size=(tiny_forest.num_intentions, dim)))
+        leaf = int(tiny_forest.nodes_at_level(tiny_forest.max_level)[0])
+        anchors, positives, negatives, weights = contrastive.build_igcl_pairs(
+            [leaf], tiny_forest, num_negatives=5, rng=rng
+        )
+        matched_entity = Tensor(intention_repr.numpy()[[leaf]])
+        random_entity = Tensor(rng.normal(size=(1, dim)))
+        good = contrastive.igcl_loss(matched_entity, intention_repr, anchors, positives,
+                                     negatives, weights, temperature=0.1).item()
+        bad = contrastive.igcl_loss(random_entity, intention_repr, anchors, positives,
+                                    negatives, weights, temperature=0.1).item()
+        assert good < bad
+
+    def test_empty_pairs_give_zero_loss(self, rng):
+        empty = np.zeros(0, dtype=np.int64)
+        loss = contrastive.igcl_loss(
+            Tensor(rng.normal(size=(1, 4))), Tensor(rng.normal(size=(3, 4))),
+            empty, empty, np.zeros((0, 2), dtype=np.int64), np.zeros(0), temperature=0.1,
+        )
+        assert loss.item() == 0.0
+
+    def test_gradients_flow_through_igcl(self, tiny_forest, rng):
+        dim = 6
+        entity = Tensor(rng.normal(size=(2, dim)), requires_grad=True)
+        intention_repr = Tensor(rng.normal(size=(tiny_forest.num_intentions, dim)), requires_grad=True)
+        leaves = tiny_forest.nodes_at_level(tiny_forest.max_level)[:2]
+        anchors, positives, negatives, weights = contrastive.build_igcl_pairs(
+            [int(leaf) for leaf in leaves], tiny_forest, num_negatives=3, rng=rng
+        )
+        loss = contrastive.igcl_loss(entity, intention_repr, anchors, positives, negatives,
+                                     weights, temperature=0.2)
+        loss.backward()
+        assert entity.grad is not None and intention_repr.grad is not None

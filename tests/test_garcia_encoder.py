@@ -1,0 +1,144 @@
+"""Tests for the GARCIA GNN encoder (Eq. 2) and the intention encoder (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.graph.intention_tree import IntentionForest
+from repro.data.schema import Intention
+from repro.models.garcia.encoder import GarciaGNNLayer, GraphEncoder, leaky_relu
+from repro.models.garcia.intention_encoder import IntentionEncoder
+
+
+def _toy_graph(rng, num_nodes=12, dim=6):
+    upper = np.triu((rng.random((num_nodes, num_nodes)) < 0.3).astype(float), k=1)
+    adjacency = upper + upper.T
+    ctr = adjacency * rng.random((num_nodes, num_nodes))
+    ctr = np.triu(ctr) + np.triu(ctr, 1).T
+    correlation = adjacency * 0.5
+    features = Tensor(rng.normal(size=(num_nodes, dim)), requires_grad=False)
+    return features, Tensor(adjacency), [Tensor(ctr), Tensor(correlation)]
+
+
+class TestLeakyRelu:
+    def test_matches_definition(self, rng):
+        x = Tensor(rng.normal(size=(20,)))
+        output = leaky_relu(x, 0.2).numpy()
+        expected = np.where(x.numpy() > 0, x.numpy(), 0.2 * x.numpy())
+        assert np.allclose(output, expected)
+
+
+class TestGarciaGNNLayer:
+    def test_attention_rows_sum_to_one_over_neighbours(self, rng):
+        features, adjacency, edges = _toy_graph(rng)
+        layer = GarciaGNNLayer(6, rng=rng)
+        attention = layer.attention_weights(features, adjacency, edges).numpy()
+        degrees = adjacency.numpy().sum(axis=1)
+        row_sums = attention.sum(axis=1)
+        connected = degrees > 0
+        assert np.allclose(row_sums[connected], 1.0, atol=1e-6)
+        assert np.allclose(row_sums[~connected], 0.0, atol=1e-6)
+
+    def test_attention_respects_adjacency_mask(self, rng):
+        features, adjacency, edges = _toy_graph(rng)
+        layer = GarciaGNNLayer(6, rng=rng)
+        attention = layer.attention_weights(features, adjacency, edges).numpy()
+        assert np.all(attention[adjacency.numpy() == 0] == 0.0)
+
+    def test_forward_shape_preserved(self, rng):
+        features, adjacency, edges = _toy_graph(rng)
+        layer = GarciaGNNLayer(6, rng=rng)
+        assert layer(features, adjacency, edges).shape == features.shape
+
+    def test_gradients_reach_all_layer_parameters(self, rng):
+        features, adjacency, edges = _toy_graph(rng)
+        layer = GarciaGNNLayer(6, rng=rng)
+        layer(features, adjacency, edges).sum().backward()
+        assert all(parameter.grad is not None for parameter in layer.parameters())
+
+    def test_edge_features_influence_output(self, rng):
+        features, adjacency, edges = _toy_graph(rng)
+        layer = GarciaGNNLayer(6, rng=rng)
+        baseline = layer(features, adjacency, edges).numpy()
+        boosted_edges = [edges[0] * 5.0, edges[1]]
+        modified = layer(features, adjacency, boosted_edges).numpy()
+        assert not np.allclose(baseline, modified)
+
+
+class TestGraphEncoder:
+    def test_layer_outputs_count(self, rng):
+        features, adjacency, edges = _toy_graph(rng)
+        encoder = GraphEncoder(6, num_layers=3, rng=rng)
+        outputs = encoder.layer_outputs(features, adjacency, edges)
+        assert len(outputs) == 4  # Z^(0) .. Z^(3)
+        assert all(output.shape == features.shape for output in outputs)
+
+    def test_readout_is_mean_of_layers(self, rng):
+        features, adjacency, edges = _toy_graph(rng)
+        encoder = GraphEncoder(6, num_layers=2, rng=rng)
+        outputs = encoder.layer_outputs(features, adjacency, edges)
+        readout = encoder.readout(outputs).numpy()
+        expected = np.mean([output.numpy() for output in outputs], axis=0)
+        assert np.allclose(readout, expected)
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            GraphEncoder(6, num_layers=0)
+
+    def test_two_encoders_have_independent_parameters(self, rng):
+        head = GraphEncoder(4, num_layers=1, rng=np.random.default_rng(0))
+        tail = GraphEncoder(4, num_layers=1, rng=np.random.default_rng(1))
+        head_weights = head.parameters()[0].data
+        tail_weights = tail.parameters()[0].data
+        assert not np.allclose(head_weights, tail_weights)
+
+
+def _chain_forest():
+    intentions = [
+        Intention(0, level=1, parent_id=None, children=[1], tree_id=0),
+        Intention(1, level=2, parent_id=0, children=[2], tree_id=0),
+        Intention(2, level=3, parent_id=1, children=[], tree_id=0),
+    ]
+    return IntentionForest(intentions)
+
+
+class TestIntentionEncoder:
+    def test_output_shape(self, tiny_forest, rng):
+        encoder = IntentionEncoder(tiny_forest, embedding_dim=8, num_levels=3, rng=rng)
+        assert encoder().shape == (tiny_forest.num_intentions, 8)
+
+    def test_single_level_returns_raw_embeddings(self, rng):
+        forest = _chain_forest()
+        encoder = IntentionEncoder(forest, embedding_dim=4, num_levels=1, rng=rng)
+        output = encoder().numpy()
+        assert np.allclose(output, encoder.embedding.weight.data)
+
+    def test_more_levels_propagate_child_information(self, rng):
+        forest = _chain_forest()
+        shallow = IntentionEncoder(forest, embedding_dim=4, num_levels=2, rng=np.random.default_rng(0))
+        deep = IntentionEncoder(forest, embedding_dim=4, num_levels=4, rng=np.random.default_rng(0))
+        assert not np.allclose(shallow().numpy(), deep().numpy())
+
+    def test_leaf_perturbation_reaches_root_only_with_enough_levels(self, rng):
+        forest = _chain_forest()
+        encoder = IntentionEncoder(forest, embedding_dim=4, num_levels=3, rng=rng)
+        baseline_root = encoder().numpy()[0].copy()
+        # Perturb the leaf embedding; with 2 aggregation steps the change must
+        # propagate through level 2 up to the root.
+        encoder.embedding.weight.data[2] += 10.0
+        perturbed_root = encoder().numpy()[0]
+        assert not np.allclose(baseline_root, perturbed_root)
+
+    def test_gradients_flow_to_embeddings_and_transform(self, tiny_forest, rng):
+        encoder = IntentionEncoder(tiny_forest, embedding_dim=8, num_levels=3, rng=rng)
+        encoder().sum().backward()
+        assert encoder.embedding.weight.grad is not None
+        assert encoder.transform.weight.grad is not None
+
+    def test_activation_options_and_validation(self, tiny_forest, rng):
+        for activation in ("tanh", "sigmoid", "relu"):
+            IntentionEncoder(tiny_forest, 4, num_levels=2, activation=activation, rng=rng)()
+        with pytest.raises(ValueError):
+            IntentionEncoder(tiny_forest, 4, activation="gelu", rng=rng)
+        with pytest.raises(ValueError):
+            IntentionEncoder(tiny_forest, 4, num_levels=0, rng=rng)

@@ -1,0 +1,166 @@
+"""Tests for the full GARCIA model: config, losses, ablations and inference."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import BatchLoader, interactions_to_arrays
+from repro.models.garcia.config import GarciaConfig
+from repro.models.garcia.model import GARCIA, build_garcia
+
+
+@pytest.fixture(scope="module")
+def garcia_model(tiny_scenario):
+    config = GarciaConfig(embedding_dim=8, num_gnn_layers=2, intention_levels=3, seed=0)
+    return build_garcia(
+        tiny_scenario.dataset, tiny_scenario.graph, tiny_scenario.forest,
+        tiny_scenario.head_tail, config,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_batch(tiny_scenario):
+    return interactions_to_arrays(tiny_scenario.splits.train[:64])
+
+
+class TestGarciaConfig:
+    def test_defaults_match_paper(self):
+        config = GarciaConfig()
+        assert config.embedding_dim == 64
+        assert config.num_gnn_layers == 2
+        assert config.intention_levels == 5
+        assert config.alpha == pytest.approx(0.1)
+        assert config.beta == pytest.approx(0.01)
+        assert config.temperature == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GarciaConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            GarciaConfig(intention_levels=6)
+        with pytest.raises(ValueError):
+            GarciaConfig(temperature=0.0)
+        with pytest.raises(ValueError):
+            GarciaConfig(alpha=-0.1)
+
+    def test_without_helper(self):
+        config = GarciaConfig()
+        assert not config.without("ig").use_igcl
+        assert not config.without("se").use_secl
+        disabled = config.without("all")
+        assert not (disabled.use_ktcl or disabled.use_secl or disabled.use_igcl)
+        with pytest.raises(ValueError):
+            config.without("bogus")
+
+    def test_variant_names(self):
+        config = GarciaConfig()
+        assert config.variant_name() == "GARCIA"
+        assert config.without("all").variant_name() == "GARCIA w.o. ALL"
+        assert config.without("ig", "se").variant_name() == "GARCIA w.o. IG&SE"
+        assert config.shared().variant_name() == "GARCIA-Share"
+
+    def test_without_is_non_destructive(self):
+        config = GarciaConfig()
+        config.without("ig")
+        assert config.use_igcl
+
+
+class TestGarciaForward:
+    def test_pretrain_loss_is_finite_and_differentiable(self, garcia_model, small_batch):
+        loss = garcia_model.pretrain_loss(small_batch)
+        assert np.isfinite(loss.item())
+        assert loss.requires_grad
+        loss.backward()
+        assert any(parameter.grad is not None for parameter in garcia_model.parameters())
+
+    def test_finetune_loss_positive_and_differentiable(self, garcia_model, small_batch):
+        garcia_model.zero_grad()
+        loss = garcia_model.finetune_loss(small_batch)
+        assert loss.item() > 0
+        loss.backward()
+        assert garcia_model.click_head.layer1.weight.grad is not None
+
+    def test_training_loss_is_finetune_loss(self, garcia_model, small_batch):
+        assert garcia_model.training_loss(small_batch).item() == pytest.approx(
+            garcia_model.finetune_loss(small_batch).item()
+        )
+
+    def test_predict_shapes_and_probability_range(self, garcia_model, small_batch):
+        predictions = garcia_model.predict(small_batch.query_ids, small_batch.service_ids)
+        assert predictions.shape == (len(small_batch),)
+        assert np.all((predictions > 0) & (predictions < 1))
+
+    def test_embeddings_cover_all_entities(self, garcia_model, tiny_scenario):
+        assert garcia_model.query_embeddings().shape[0] == tiny_scenario.dataset.num_queries
+        assert garcia_model.service_embeddings().shape[0] == tiny_scenario.dataset.num_services
+
+    def test_intention_inputs_validated(self, tiny_scenario):
+        config = GarciaConfig(embedding_dim=8)
+        with pytest.raises(ValueError):
+            GARCIA(
+                graph=tiny_scenario.graph,
+                forest=tiny_scenario.forest,
+                query_intentions=[0],  # wrong length
+                service_intentions=[s.intention_id for s in tiny_scenario.dataset.services],
+                anchor_map={},
+                config=config,
+            )
+
+
+class TestAblationVariants:
+    def _build(self, tiny_scenario, config):
+        return build_garcia(
+            tiny_scenario.dataset, tiny_scenario.graph, tiny_scenario.forest,
+            tiny_scenario.head_tail, config,
+        )
+
+    def test_without_all_pretrain_loss_is_zero_constant(self, tiny_scenario, small_batch):
+        config = GarciaConfig(embedding_dim=8, intention_levels=2).without("all")
+        model = self._build(tiny_scenario, config)
+        loss = model.pretrain_loss(small_batch)
+        assert loss.item() == pytest.approx(0.0)
+        assert not loss.requires_grad
+
+    def test_alpha_zero_matches_disabling_secl(self, tiny_scenario, small_batch):
+        base = GarciaConfig(embedding_dim=8, intention_levels=2, seed=3)
+        with_alpha_zero = self._build(tiny_scenario, base.__class__(**{**base.__dict__, "alpha": 0.0}))
+        without_secl = self._build(tiny_scenario, base.without("se"))
+        assert with_alpha_zero.pretrain_loss(small_batch).item() == pytest.approx(
+            without_secl.pretrain_loss(small_batch).item(), rel=1e-6
+        )
+
+    def test_share_encoder_has_fewer_parameters(self, tiny_scenario):
+        adaptive = self._build(tiny_scenario, GarciaConfig(embedding_dim=8))
+        shared = self._build(tiny_scenario, GarciaConfig(embedding_dim=8, share_encoder=True))
+        assert shared.num_parameters() < adaptive.num_parameters()
+
+    def test_share_encoder_uses_same_object(self, tiny_scenario):
+        shared = self._build(tiny_scenario, GarciaConfig(embedding_dim=8, share_encoder=True))
+        assert shared.head_encoder is shared.tail_encoder
+
+    def test_disabling_granularity_changes_pretrain_loss(self, tiny_scenario, small_batch):
+        full = self._build(tiny_scenario, GarciaConfig(embedding_dim=8, seed=4))
+        no_ktcl = self._build(tiny_scenario, GarciaConfig(embedding_dim=8, seed=4).without("ktcl"))
+        assert full.pretrain_loss(small_batch).item() != pytest.approx(
+            no_ktcl.pretrain_loss(small_batch).item()
+        )
+
+
+class TestCacheInvalidation:
+    def test_predictions_change_after_training_step(self, tiny_scenario):
+        from repro.nn import Adam
+
+        config = GarciaConfig(embedding_dim=8, intention_levels=2, seed=9)
+        model = build_garcia(
+            tiny_scenario.dataset, tiny_scenario.graph, tiny_scenario.forest,
+            tiny_scenario.head_tail, config,
+        )
+        loader = BatchLoader(tiny_scenario.splits.train, batch_size=64, seed=0)
+        batch = next(iter(loader))
+        before = model.predict(batch.query_ids[:10], batch.service_ids[:10]).copy()
+        optimizer = Adam(model.parameters(), lr=0.05)
+        loss = model.finetune_loss(batch)
+        loss.backward()
+        optimizer.step()
+        model.invalidate_cache()
+        after = model.predict(batch.query_ids[:10], batch.service_ids[:10])
+        assert not np.allclose(before, after)

@@ -1,0 +1,136 @@
+"""Tests for the service-search graph and its builder."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import CORRELATION_ATTRIBUTES, Interaction
+from repro.data.splits import chronological_split, head_tail_split
+from repro.graph.builder import GraphBuildConfig, GraphBuilder
+from repro.graph.search_graph import ServiceSearchGraph
+
+
+class TestGraphBuilder:
+    def test_interaction_edges_require_clicks(self, tiny_scenario):
+        graph = tiny_scenario.graph
+        dataset = tiny_scenario.dataset
+        clicked_pairs = {
+            (i.query_id, i.service_id)
+            for i in tiny_scenario.splits.train
+            if i.clicked
+        }
+        # Every CTR-carrying edge corresponds to a clicked train pair.
+        query_nodes, service_nodes = np.nonzero(np.triu(graph.ctr > 0))
+        for query_node, service_node in zip(query_nodes, service_nodes):
+            assert (int(query_node), int(service_node - graph.num_queries)) in clicked_pairs
+
+    def test_ctr_values_in_unit_interval(self, tiny_graph):
+        assert np.all(tiny_graph.ctr >= 0.0)
+        assert np.all(tiny_graph.ctr <= 1.0)
+
+    def test_correlation_edges_share_attributes(self, tiny_scenario):
+        graph = tiny_scenario.graph
+        dataset = tiny_scenario.dataset
+        config = GraphBuildConfig()
+        rows, cols = np.nonzero(np.triu(graph.correlation > 0))
+        assert len(rows) > 0
+        for query_node, service_node in zip(rows[:50], cols[:50]):
+            query = dataset.query_by_id(int(query_node))
+            service = dataset.service_by_id(int(service_node - graph.num_queries))
+            shared = sum(
+                1 for key in CORRELATION_ATTRIBUTES
+                if query.attributes.get(key) == service.attributes.get(key)
+            )
+            assert shared >= config.min_shared_attributes
+
+    def test_graph_is_bipartite(self, tiny_graph):
+        num_queries = tiny_graph.num_queries
+        # No query-query or service-service edges.
+        assert np.all(tiny_graph.adjacency[:num_queries, :num_queries] == 0)
+        assert np.all(tiny_graph.adjacency[num_queries:, num_queries:] == 0)
+
+    def test_adjacency_is_symmetric(self, tiny_graph):
+        assert np.allclose(tiny_graph.adjacency, tiny_graph.adjacency.T)
+        assert np.allclose(tiny_graph.ctr, tiny_graph.ctr.T)
+        assert np.allclose(tiny_graph.correlation, tiny_graph.correlation.T)
+
+    def test_no_test_label_leakage(self, tiny_scenario):
+        """Edges are built from train interactions only: a pair clicked only
+        in the test window must not carry an interaction (CTR) edge."""
+        graph = tiny_scenario.graph
+        train_pairs = {(i.query_id, i.service_id) for i in tiny_scenario.splits.train}
+        test_only_clicks = [
+            i for i in tiny_scenario.splits.test
+            if i.clicked and (i.query_id, i.service_id) not in train_pairs
+        ]
+        for interaction in test_only_clicks:
+            query_node = interaction.query_id
+            service_node = graph.num_queries + interaction.service_id
+            assert graph.ctr[query_node, service_node] == 0.0
+
+    def test_max_correlation_edges_cap(self, tiny_dataset, tiny_scenario):
+        config = GraphBuildConfig(max_correlation_edges_per_query=2)
+        builder = GraphBuilder(config)
+        graph = builder.build(tiny_dataset, tiny_scenario.splits.train, tiny_scenario.head_tail)
+        correlation_degree = (graph.correlation[: graph.num_queries] > 0).sum(axis=1)
+        assert correlation_degree.max() <= 2
+
+    def test_min_clicks_threshold(self, tiny_dataset, tiny_scenario):
+        strict = GraphBuilder(GraphBuildConfig(min_clicks=1000))
+        graph = strict.build(tiny_dataset, tiny_scenario.splits.train, tiny_scenario.head_tail)
+        assert np.all(graph.ctr == 0.0)
+
+
+class TestServiceSearchGraph:
+    def test_node_index_mapping(self, tiny_graph):
+        assert np.array_equal(tiny_graph.query_node([0, 5]), [0, 5])
+        assert np.array_equal(
+            tiny_graph.service_node([0, 2]), [tiny_graph.num_queries, tiny_graph.num_queries + 2]
+        )
+        assert tiny_graph.is_query_node([0, tiny_graph.num_queries]).tolist() == [True, False]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ServiceSearchGraph(
+                num_queries=2, num_services=2,
+                adjacency=np.zeros((3, 3)), ctr=np.zeros((4, 4)), correlation=np.zeros((4, 4)),
+                query_attributes={}, service_attributes={}, head_query_ids=[0],
+            )
+
+    def test_head_tail_adjacency_partition_edges(self, tiny_graph):
+        head_edges = int(tiny_graph.head_adjacency.sum()) // 2
+        tail_edges = int(tiny_graph.tail_adjacency.sum()) // 2
+        assert head_edges + tail_edges == tiny_graph.num_edges
+
+    def test_head_adjacency_only_touches_head_queries(self, tiny_graph):
+        head_set = set(tiny_graph.head_query_ids.tolist())
+        rows = np.nonzero(tiny_graph.head_adjacency[: tiny_graph.num_queries].sum(axis=1) > 0)[0]
+        assert set(rows.tolist()) <= head_set
+
+    def test_tail_adjacency_excludes_head_queries(self, tiny_graph):
+        head_set = set(tiny_graph.head_query_ids.tolist())
+        rows = np.nonzero(tiny_graph.tail_adjacency[: tiny_graph.num_queries].sum(axis=1) > 0)[0]
+        assert head_set.isdisjoint(rows.tolist())
+
+    def test_node_id_views_include_all_services(self, tiny_graph):
+        assert len(tiny_graph.head_node_ids()) == len(tiny_graph.head_query_ids) + tiny_graph.num_services
+        assert len(tiny_graph.tail_node_ids()) == len(tiny_graph.tail_query_ids) + tiny_graph.num_services
+
+    def test_degree_and_neighbor_lists_consistent(self, tiny_graph):
+        degrees = tiny_graph.degree()
+        neighbors = tiny_graph.neighbor_lists()
+        assert len(neighbors) == tiny_graph.num_nodes
+        assert all(len(n) == d for n, d in zip(neighbors, degrees))
+
+    def test_edge_feature_stack_shape(self, tiny_graph):
+        stack = tiny_graph.edge_feature_stack()
+        assert stack.shape == (tiny_graph.num_nodes, tiny_graph.num_nodes, 2)
+
+    def test_statistics_counts(self, tiny_scenario):
+        stats = tiny_scenario.graph.statistics(
+            intention_nodes=tiny_scenario.forest.num_intentions,
+            intention_edges=tiny_scenario.forest.num_edges,
+        )
+        assert stats.head_edges + stats.tail_edges == tiny_scenario.graph.num_edges
+        assert stats.intention_nodes == tiny_scenario.forest.num_intentions
+        row = stats.as_row()
+        assert "head_nodes" in row and "tail_edges" in row

@@ -1,0 +1,142 @@
+"""Tests for the intention forest structure and IGCL negative sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.schema import Intention
+from repro.data.synthetic import SyntheticConfig, generate_dataset
+from repro.graph.intention_tree import IntentionForest
+
+
+def _manual_forest() -> IntentionForest:
+    """Two small trees:
+
+    tree 0: 0 -> (1, 2), 1 -> (3,)           (levels 1, 2, 2, 3)
+    tree 1: 4 -> (5,)                         (levels 1, 2)
+    """
+    intentions = [
+        Intention(0, level=1, parent_id=None, children=[1, 2], tree_id=0),
+        Intention(1, level=2, parent_id=0, children=[3], tree_id=0),
+        Intention(2, level=2, parent_id=0, children=[], tree_id=0),
+        Intention(3, level=3, parent_id=1, children=[], tree_id=0),
+        Intention(4, level=1, parent_id=None, children=[5], tree_id=1),
+        Intention(5, level=2, parent_id=4, children=[], tree_id=1),
+    ]
+    return IntentionForest(intentions)
+
+
+class TestForestStructure:
+    def test_counts(self):
+        forest = _manual_forest()
+        assert forest.num_intentions == 6
+        assert forest.num_edges == 4
+        assert forest.max_level == 3
+
+    def test_parent_child_level_accessors(self):
+        forest = _manual_forest()
+        assert forest.parent(3) == 1
+        assert forest.parent(0) is None
+        assert forest.children(0) == [1, 2]
+        assert forest.level(3) == 3
+        assert forest.tree(5) == 1
+
+    def test_ancestors_chain(self):
+        forest = _manual_forest()
+        assert forest.ancestors(3) == (1, 0)
+        assert forest.ancestors(0) == ()
+
+    def test_parent_chain_includes_self(self):
+        forest = _manual_forest()
+        assert forest.parent_chain(3) == (3, 1, 0)
+
+    def test_parent_chain_truncated_by_max_level(self):
+        forest = _manual_forest()
+        assert forest.parent_chain(3, max_level=1) == (3,)
+        assert forest.parent_chain(3, max_level=2) == (3, 1)
+        with pytest.raises(ValueError):
+            forest.parent_chain(3, max_level=0)
+
+    def test_nodes_at_level(self):
+        forest = _manual_forest()
+        assert set(forest.nodes_at_level(1).tolist()) == {0, 4}
+        assert set(forest.nodes_at_level(2).tolist()) == {1, 2, 5}
+        assert forest.nodes_at_level(9).size == 0
+
+    def test_bottom_up_levels_order(self):
+        forest = _manual_forest()
+        levels = forest.bottom_up_levels()
+        assert [set(level.tolist()) for level in levels] == [{3}, {1, 2, 5}, {0, 4}]
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError):
+            IntentionForest([])
+
+
+class TestNegativeSampling:
+    def test_hard_negatives_same_tree_same_level(self):
+        forest = _manual_forest()
+        hard = forest.hard_negatives(1)
+        assert set(hard.tolist()) == {2}
+
+    def test_easy_negatives_other_tree_same_level(self):
+        forest = _manual_forest()
+        easy = forest.easy_negatives(1)
+        assert set(easy.tolist()) == {5}
+
+    def test_negatives_exclude_requested_ids(self):
+        forest = _manual_forest()
+        assert forest.hard_negatives(1, exclude=[2]).size == 0
+        assert forest.easy_negatives(1, exclude=[5]).size == 0
+
+    def test_sample_negatives_levels_match(self, rng):
+        forest = _manual_forest()
+        sampled = forest.sample_negatives(1, num_negatives=4, rng=rng)
+        assert sampled.size > 0
+        assert all(forest.level(int(n)) == forest.level(1) for n in sampled)
+        assert 1 not in sampled.tolist()
+
+    def test_sample_negatives_zero_request(self, rng):
+        forest = _manual_forest()
+        assert forest.sample_negatives(1, 0, rng=rng).size == 0
+
+    def test_degenerate_forest_falls_back_to_any_other_node(self, rng):
+        intentions = [
+            Intention(0, level=1, parent_id=None, children=[1], tree_id=0),
+            Intention(1, level=2, parent_id=0, children=[], tree_id=0),
+        ]
+        forest = IntentionForest(intentions)
+        # Level-2 has a single node: no level-matched negatives exist at all,
+        # so the sampler falls back to any other intention.
+        sampled = forest.sample_negatives(1, 3, rng=rng)
+        assert sampled.size > 0
+        assert 1 not in sampled.tolist()
+
+    def test_from_dataset_consistency(self, tiny_dataset, tiny_forest):
+        assert tiny_forest.num_intentions == tiny_dataset.num_intentions
+        # Every query's intention chain terminates at a root.
+        for query in tiny_dataset.queries[:20]:
+            chain = tiny_forest.parent_chain(query.intention_id)
+            assert tiny_forest.level(chain[-1]) == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(depth=st.integers(2, 5), trees=st.integers(1, 4), seed=st.integers(0, 100))
+def test_forest_invariants_on_generated_data(depth, trees, seed):
+    config = SyntheticConfig(
+        num_queries=40, num_services=15, num_interactions=500, total_page_views=2_000,
+        intention_depth=depth, num_intention_trees=trees, seed=seed,
+    )
+    dataset = generate_dataset(config)
+    forest = IntentionForest.from_dataset(dataset)
+    # Levels increase by exactly one from parent to child.
+    for intention in dataset.intentions:
+        if intention.parent_id is not None:
+            assert forest.level(intention.intention_id) == forest.level(intention.parent_id) + 1
+    # Parent chains are strictly decreasing in level and stay inside one tree.
+    rng = np.random.default_rng(seed)
+    for intention_id in rng.choice(forest.num_intentions, size=min(10, forest.num_intentions), replace=False):
+        chain = forest.parent_chain(int(intention_id))
+        levels = [forest.level(node) for node in chain]
+        assert levels == sorted(levels, reverse=True)
+        assert len({forest.tree(node) for node in chain}) == 1

@@ -1,0 +1,79 @@
+"""Tests for stochastic graph augmentations (used by the SGL / SimGCL baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sampling import add_embedding_noise, dropout_adjacency, dropout_nodes
+
+
+def _symmetric_adjacency(rng, size=20, density=0.3):
+    upper = np.triu((rng.random((size, size)) < density).astype(float), k=1)
+    return upper + upper.T
+
+
+class TestEdgeDropout:
+    def test_zero_rate_is_identity(self, rng):
+        adjacency = _symmetric_adjacency(rng)
+        assert np.allclose(dropout_adjacency(adjacency, 0.0, rng=rng), adjacency)
+
+    def test_result_is_subset_and_symmetric(self, rng):
+        adjacency = _symmetric_adjacency(rng)
+        dropped = dropout_adjacency(adjacency, 0.5, rng=rng)
+        assert np.all(dropped <= adjacency)
+        assert np.allclose(dropped, dropped.T)
+
+    def test_approximately_rate_edges_removed(self, rng):
+        adjacency = _symmetric_adjacency(rng, size=120, density=0.4)
+        dropped = dropout_adjacency(adjacency, 0.3, rng=rng)
+        kept_fraction = dropped.sum() / adjacency.sum()
+        assert 0.55 < kept_fraction < 0.85
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            dropout_adjacency(np.zeros((3, 3)), 1.0, rng=rng)
+
+    def test_original_not_modified(self, rng):
+        adjacency = _symmetric_adjacency(rng)
+        copy = adjacency.copy()
+        dropout_adjacency(adjacency, 0.5, rng=rng)
+        assert np.allclose(adjacency, copy)
+
+
+class TestNodeDropout:
+    def test_dropped_nodes_are_isolated(self, rng):
+        adjacency = _symmetric_adjacency(rng, size=60)
+        dropped = dropout_nodes(adjacency, 0.5, rng=rng)
+        degrees_before = adjacency.sum(axis=1)
+        degrees_after = dropped.sum(axis=1)
+        # Some previously connected node must now be isolated.
+        assert np.any((degrees_before > 0) & (degrees_after == 0))
+        assert np.allclose(dropped, dropped.T)
+
+    def test_zero_rate_identity_and_validation(self, rng):
+        adjacency = _symmetric_adjacency(rng)
+        assert np.allclose(dropout_nodes(adjacency, 0.0, rng=rng), adjacency)
+        with pytest.raises(ValueError):
+            dropout_nodes(adjacency, -0.1, rng=rng)
+
+
+class TestEmbeddingNoise:
+    def test_zero_magnitude_is_identity(self, rng):
+        embeddings = rng.normal(size=(10, 8))
+        assert np.allclose(add_embedding_noise(embeddings, 0.0, rng=rng), embeddings)
+
+    def test_perturbation_magnitude_bounded(self, rng):
+        embeddings = rng.normal(size=(50, 16))
+        noisy = add_embedding_noise(embeddings, 0.1, rng=rng)
+        deltas = np.linalg.norm(noisy - embeddings, axis=1)
+        assert np.all(deltas <= 0.1 + 1e-9)
+        assert np.all(deltas > 0)
+
+    def test_noise_preserves_signs(self, rng):
+        embeddings = rng.normal(size=(30, 8)) + 1.0  # mostly positive
+        noisy = add_embedding_noise(embeddings, 0.05, rng=rng)
+        positive = embeddings > 0.1
+        assert np.all(noisy[positive] >= embeddings[positive])
+
+    def test_negative_magnitude_rejected(self, rng):
+        with pytest.raises(ValueError):
+            add_embedding_noise(np.zeros((2, 2)), -1.0, rng=rng)

@@ -1,0 +1,105 @@
+"""Tests for shared model infrastructure: feature encoder, scoring head, caching."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models.base import NodeFeatureEncoder, RankingModel, ScoringHead
+
+
+class TestNodeFeatureEncoder:
+    def test_output_covers_every_node(self, tiny_graph, rng):
+        encoder = NodeFeatureEncoder(tiny_graph, embedding_dim=8, rng=rng)
+        output = encoder()
+        assert output.shape == (tiny_graph.num_nodes, 8)
+
+    def test_attribute_tables_are_registered(self, tiny_graph, rng):
+        encoder = NodeFeatureEncoder(tiny_graph, embedding_dim=8, rng=rng)
+        names = dict(encoder.named_parameters()).keys()
+        assert any("attr_city" in name for name in names)
+        assert any("attr_brand" in name for name in names)
+        assert any("attr_category" in name for name in names)
+
+    def test_gradients_reach_id_and_attribute_embeddings(self, tiny_graph, rng):
+        encoder = NodeFeatureEncoder(tiny_graph, embedding_dim=8, rng=rng)
+        encoder().sum().backward()
+        assert encoder.id_embedding.weight.grad is not None
+        assert getattr(encoder, "attr_city").weight.grad is not None
+
+    def test_nodes_with_same_attributes_share_attribute_component(self, tiny_graph, tiny_dataset, rng):
+        encoder = NodeFeatureEncoder(tiny_graph, embedding_dim=8, rng=rng)
+        output = encoder().numpy()
+        id_part = encoder.id_embedding(np.arange(tiny_graph.num_nodes)).numpy()
+        attribute_part = output - id_part
+        # Two queries with identical correlation attributes get identical
+        # attribute components.
+        by_attrs = {}
+        for query in tiny_dataset.queries:
+            key = tuple(sorted(query.attributes.items()))
+            by_attrs.setdefault(key, []).append(query.query_id)
+        duplicates = [ids for ids in by_attrs.values() if len(ids) > 1]
+        if duplicates:
+            group = duplicates[0]
+            assert np.allclose(attribute_part[group[0]], attribute_part[group[1]])
+
+
+class TestScoringHead:
+    def test_output_is_probability(self, rng):
+        head = ScoringHead(embedding_dim=8, rng=rng)
+        queries = Tensor(rng.normal(size=(10, 8)))
+        services = Tensor(rng.normal(size=(10, 8)))
+        probabilities = head(queries, services).numpy()
+        assert probabilities.shape == (10,)
+        assert np.all((probabilities > 0) & (probabilities < 1))
+
+    def test_gradients_flow(self, rng):
+        head = ScoringHead(embedding_dim=4, rng=rng)
+        output = head(Tensor(rng.normal(size=(3, 4)), requires_grad=True),
+                      Tensor(rng.normal(size=(3, 4)), requires_grad=True))
+        output.sum().backward()
+        assert all(parameter.grad is not None for parameter in head.parameters())
+
+
+class _ConstantModel(RankingModel):
+    """Minimal RankingModel used to exercise the caching logic."""
+
+    name = "constant"
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self.compute_calls = 0
+        self._value = 0.5
+
+    def compute_embeddings(self):
+        self.compute_calls += 1
+        dim = 4
+        return {
+            "query": np.full((self.graph.num_queries, dim), self._value),
+            "service": np.full((self.graph.num_services, dim), self._value),
+        }
+
+    def score_pairs(self, query_repr, service_repr):
+        return (query_repr * service_repr).sum(axis=1).sigmoid()
+
+
+class TestRankingModelCaching:
+    def test_embeddings_are_cached_until_invalidated(self, tiny_graph):
+        model = _ConstantModel(tiny_graph)
+        model.query_embeddings()
+        model.service_embeddings()
+        assert model.compute_calls == 1
+        model.predict([0, 1], [0, 1])
+        assert model.compute_calls == 1
+        model.invalidate_cache()
+        model.query_embeddings()
+        assert model.compute_calls == 2
+
+    def test_predict_shapes_and_range(self, tiny_graph):
+        model = _ConstantModel(tiny_graph)
+        predictions = model.predict([0, 1, 2], [0, 1, 2])
+        assert predictions.shape == (3,)
+        assert np.all((predictions > 0) & (predictions < 1))
+
+    def test_training_loss_abstract(self, tiny_graph):
+        with pytest.raises(NotImplementedError):
+            RankingModel(tiny_graph).training_loss(None)

@@ -1,0 +1,144 @@
+"""Tests for Linear, Embedding, MLP, Dropout, Sequential and initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradient_check
+from repro.nn import Dropout, Embedding, Linear, MLP, Sequential, init
+from repro.nn.layers import build_activation
+
+
+class TestInitialisers:
+    def test_xavier_uniform_bounds(self, rng):
+        weights = init.xavier_uniform((100, 50), rng=rng)
+        limit = np.sqrt(6.0 / 150)
+        assert weights.shape == (100, 50)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_xavier_normal_std(self, rng):
+        weights = init.xavier_normal((200, 200), rng=rng)
+        assert abs(weights.std() - np.sqrt(2.0 / 400)) < 0.005
+
+    def test_uniform_and_zeros(self, rng):
+        assert np.all(np.abs(init.uniform((10, 10), -0.2, 0.2, rng=rng)) <= 0.2)
+        assert np.all(init.zeros((5,)) == 0.0)
+
+    def test_deterministic_given_seed(self):
+        a = init.xavier_uniform((4, 4), rng=np.random.default_rng(3))
+        b = init.xavier_uniform((4, 4), rng=np.random.default_rng(3))
+        assert np.allclose(a, b)
+
+
+class TestLinear:
+    def test_output_shape_and_bias(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        output = layer(Tensor(rng.normal(size=(7, 5))))
+        assert output.shape == (7, 3)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual_computation(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow_to_weight_and_bias(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        table = Embedding(10, 6, rng=rng)
+        assert table([1, 4, 4, 9]).shape == (4, 6)
+
+    def test_repeated_indices_accumulate_gradient(self, rng):
+        table = Embedding(5, 3, rng=rng)
+        table([2, 2, 2]).sum().backward()
+        assert np.allclose(table.weight.grad[2], 3.0)
+        assert np.allclose(table.weight.grad[0], 0.0)
+
+    def test_out_of_range_raises(self, rng):
+        table = Embedding(5, 3, rng=rng)
+        with pytest.raises(IndexError):
+            table([5])
+        with pytest.raises(IndexError):
+            table([-1])
+
+    def test_all_embeddings_shape(self, rng):
+        table = Embedding(7, 4, rng=rng)
+        assert table.all_embeddings().shape == (7, 4)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+
+class TestDropoutLayer:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.8, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(20, 20)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_training_mode_zeroes_entries(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        output = layer(Tensor(np.ones((50, 50)))).data
+        assert (output == 0.0).mean() > 0.3
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestMLPAndSequential:
+    def test_mlp_output_shape(self, rng):
+        mlp = MLP([6, 12, 4, 1], rng=rng)
+        assert mlp(Tensor(rng.normal(size=(9, 6)))).shape == (9, 1)
+
+    def test_sigmoid_output_activation_bounds(self, rng):
+        mlp = MLP([4, 8, 1], output_activation="sigmoid", rng=rng)
+        output = mlp(Tensor(rng.normal(size=(20, 4)) * 5)).data
+        assert np.all(output > 0) and np.all(output < 1)
+
+    def test_mlp_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mlp_gradient_flows_to_all_layers(self, rng):
+        mlp = MLP([3, 5, 2], rng=rng)
+        mlp(Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert all(p.grad is not None for p in mlp.parameters())
+
+    def test_mlp_end_to_end_gradient_check(self, rng):
+        mlp = MLP([3, 4, 1], rng=rng)
+        x = Tensor(rng.normal(size=(5, 3)))
+
+        def loss_fn(params):
+            return (mlp(x) ** 2).sum()
+
+        gradient_check(loss_fn, mlp.parameters(), atol=1e-3)
+
+    def test_sequential_length_and_iteration(self, rng):
+        seq = Sequential([Linear(2, 3, rng=rng), Linear(3, 1, rng=rng)])
+        assert len(seq) == 2
+        assert seq(Tensor(rng.normal(size=(4, 2)))).shape == (4, 1)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            build_activation("swish")
+
+    def test_activation_factory_known_names(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)))
+        for name in ("relu", "tanh", "sigmoid", "identity", "none"):
+            module = build_activation(name)
+            assert module(x).shape == x.shape

@@ -1,0 +1,127 @@
+"""Tests for Module / Parameter containers and state handling."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, MLP, Module, Parameter, Sequential
+
+
+class ToyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.layer_a = Linear(3, 4, rng=np.random.default_rng(0))
+        self.layer_b = Linear(4, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.layer_b(self.layer_a(x)) * self.scale
+
+
+class TestParameterRegistration:
+    def test_named_parameters_are_qualified(self):
+        model = ToyModel()
+        names = dict(model.named_parameters()).keys()
+        assert "layer_a.weight" in names
+        assert "layer_a.bias" in names
+        assert "layer_b.weight" in names
+        assert "scale" in names
+
+    def test_parameters_flat_list_and_count(self):
+        model = ToyModel()
+        assert len(model.parameters()) == 5
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_register_module_for_list_held_children(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = []
+                for index in range(3):
+                    block = Linear(2, 2)
+                    self.register_module(f"block_{index}", block)
+                    self.blocks.append(block)
+
+        holder = Holder()
+        assert len(holder.parameters()) == 6
+
+    def test_zero_grad_clears_all(self):
+        model = ToyModel()
+        out = model(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestTrainEvalMode:
+    def test_train_eval_propagates_to_children(self):
+        model = ToyModel()
+        model.eval()
+        assert not model.training
+        assert not model.layer_a.training
+        model.train()
+        assert model.layer_b.training
+
+    def test_sequential_propagation(self):
+        seq = Sequential([Linear(2, 2), Linear(2, 2)])
+        seq.eval()
+        assert all(not layer.training for layer in seq)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = ToyModel()
+        state = model.state_dict()
+        clone = ToyModel()
+        clone.load_state_dict(state)
+        for (_, p1), (_, p2) in zip(model.named_parameters(), clone.named_parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = ToyModel()
+        state = model.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.allclose(model.scale.data, 99.0)
+
+    def test_strict_load_raises_on_missing_keys(self):
+        model = ToyModel()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state, strict=True)
+
+    def test_non_strict_load_ignores_missing_and_extra(self):
+        model = ToyModel()
+        state = {"scale": np.array([5.0]), "unknown.weight": np.zeros((2, 2))}
+        model.load_state_dict(state, strict=False)
+        assert model.scale.data == pytest.approx(np.array([5.0]))
+
+    def test_shape_mismatch_raises(self):
+        model = ToyModel()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_mlp_state_roundtrip_preserves_output(self, rng):
+        mlp = MLP([4, 8, 2], rng=rng)
+        x = Tensor(rng.normal(size=(5, 4)))
+        before = mlp(x).data.copy()
+        clone = MLP([4, 8, 2], rng=np.random.default_rng(999))
+        clone.load_state_dict(mlp.state_dict())
+        assert np.allclose(clone(x).data, before)
+
+
+class TestForwardProtocol:
+    def test_base_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_call_dispatches_to_forward(self, rng):
+        model = ToyModel()
+        output = model(Tensor(rng.normal(size=(7, 3))))
+        assert output.shape == (7, 2)

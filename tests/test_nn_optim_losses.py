@@ -1,0 +1,134 @@
+"""Tests for optimisers (SGD, Adam) and loss modules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import Adam, BCELoss, BCEWithLogitsLoss, InfoNCELoss, Linear, MLP, Parameter, SGD
+
+
+def _quadratic_loss(parameter: Parameter) -> Tensor:
+    # f(w) = sum((w - 3)^2), minimised at w = 3.
+    diff = parameter - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        weight = Parameter(np.zeros(4))
+        optimizer = SGD([weight], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            _quadratic_loss(weight).backward()
+            optimizer.step()
+        assert np.allclose(weight.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain_weight = Parameter(np.zeros(3))
+        momentum_weight = Parameter(np.zeros(3))
+        plain = SGD([plain_weight], lr=0.01)
+        momentum = SGD([momentum_weight], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            for optimizer, weight in ((plain, plain_weight), (momentum, momentum_weight)):
+                optimizer.zero_grad()
+                _quadratic_loss(weight).backward()
+                optimizer.step()
+        assert abs(momentum_weight.data.mean() - 3.0) < abs(plain_weight.data.mean() - 3.0)
+
+    def test_weight_decay_shrinks_solution(self):
+        weight = Parameter(np.zeros(2))
+        optimizer = SGD([weight], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            optimizer.zero_grad()
+            _quadratic_loss(weight).backward()
+            optimizer.step()
+        assert np.all(weight.data < 3.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_parameters_without_grad_are_skipped(self):
+        weight = Parameter(np.ones(2))
+        optimizer = SGD([weight], lr=0.5)
+        optimizer.step()  # no gradient yet — must not crash or move weights
+        assert np.allclose(weight.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        weight = Parameter(np.full(4, -2.0))
+        optimizer = Adam([weight], lr=0.1)
+        for _ in range(400):
+            optimizer.zero_grad()
+            _quadratic_loss(weight).backward()
+            optimizer.step()
+        assert np.allclose(weight.data, 3.0, atol=1e-2)
+
+    def test_deduplicates_shared_parameters(self):
+        weight = Parameter(np.zeros(2))
+        optimizer = Adam([weight, weight, weight], lr=0.1)
+        assert len(optimizer.parameters) == 1
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.2, 0.9))
+
+    def test_trains_logistic_regression(self, rng):
+        features = rng.normal(size=(300, 6))
+        true_weights = rng.normal(size=6)
+        labels = (features @ true_weights > 0).astype(float)
+        model = MLP([6, 1], output_activation="sigmoid", rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.1)
+        for _ in range(150):
+            optimizer.zero_grad()
+            predictions = model(Tensor(features)).reshape(-1)
+            F.binary_cross_entropy(predictions, labels).backward()
+            optimizer.step()
+        accuracy = ((model(Tensor(features)).data.reshape(-1) > 0.5) == labels).mean()
+        assert accuracy > 0.95
+
+
+class TestLossModules:
+    def test_bce_loss_module_matches_functional(self, rng):
+        predictions = Tensor(rng.uniform(0.1, 0.9, size=10))
+        labels = (rng.random(10) > 0.5).astype(float)
+        assert BCELoss()(predictions, labels).item() == pytest.approx(
+            F.binary_cross_entropy(predictions, labels).item()
+        )
+
+    def test_bce_with_logits_module(self, rng):
+        logits = Tensor(rng.normal(size=10))
+        labels = (rng.random(10) > 0.5).astype(float)
+        assert BCEWithLogitsLoss()(logits, labels).item() == pytest.approx(
+            F.binary_cross_entropy_with_logits(logits, labels).item()
+        )
+
+    def test_info_nce_module_temperature_validation(self):
+        with pytest.raises(ValueError):
+            InfoNCELoss(temperature=0.0)
+
+    def test_info_nce_module_callable(self, rng):
+        anchors = Tensor(rng.normal(size=(6, 8)))
+        loss = InfoNCELoss(temperature=0.2)(anchors, Tensor(anchors.data.copy()))
+        assert loss.item() >= 0.0
+
+    def test_training_reduces_bce(self, rng):
+        layer = Linear(4, 1, rng=rng)
+        features = rng.normal(size=(120, 4))
+        labels = (features[:, 0] > 0).astype(float)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        first_loss = None
+        for step in range(80):
+            optimizer.zero_grad()
+            predictions = layer(Tensor(features)).reshape(-1).sigmoid()
+            loss = F.binary_cross_entropy(predictions, labels)
+            if step == 0:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss

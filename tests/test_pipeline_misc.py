@@ -1,0 +1,74 @@
+"""Tests for the scenario preparation pipeline and miscellaneous helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticConfig
+from repro.graph.builder import GraphBuildConfig
+from repro.pipeline import prepare_scenario
+
+
+CONFIG = SyntheticConfig(
+    name="pipeline-test",
+    num_queries=60,
+    num_services=25,
+    num_interactions=1_200,
+    total_page_views=8_000,
+    num_intention_trees=2,
+    intention_depth=3,
+    head_fraction=0.1,
+    seed=11,
+)
+
+
+class TestPrepareScenario:
+    def test_components_are_consistent(self):
+        scenario = prepare_scenario(CONFIG)
+        assert scenario.name == "pipeline-test"
+        assert scenario.graph.num_queries == scenario.dataset.num_queries
+        assert scenario.graph.num_services == scenario.dataset.num_services
+        assert scenario.forest.num_intentions == scenario.dataset.num_intentions
+        assert scenario.oracle is not None
+        assert sum(scenario.splits.sizes) == scenario.dataset.num_interactions
+
+    def test_head_fraction_defaults_to_generator_setting(self):
+        scenario = prepare_scenario(CONFIG)
+        expected_head = max(1, int(round(CONFIG.head_fraction * CONFIG.num_queries)))
+        assert scenario.head_tail.num_head == expected_head
+
+    def test_head_fraction_override(self):
+        scenario = prepare_scenario(CONFIG, head_fraction=0.2)
+        assert scenario.head_tail.num_head == max(1, int(round(0.2 * CONFIG.num_queries)))
+
+    def test_split_fraction_overrides(self):
+        scenario = prepare_scenario(CONFIG, validation_fraction=0.2, test_fraction=0.3)
+        total = scenario.dataset.num_interactions
+        assert len(scenario.splits.validation) == pytest.approx(0.2 * total, abs=2)
+        assert len(scenario.splits.test) == pytest.approx(0.3 * total, abs=2)
+
+    def test_graph_config_override_changes_graph(self):
+        default = prepare_scenario(CONFIG)
+        strict = prepare_scenario(
+            CONFIG, graph_config=GraphBuildConfig(min_shared_attributes=3,
+                                                  max_correlation_edges_per_query=1)
+        )
+        assert strict.graph.num_edges <= default.graph.num_edges
+
+    def test_graph_uses_only_training_window(self):
+        scenario = prepare_scenario(CONFIG, validation_fraction=0.0, test_fraction=0.5)
+        # With half the data held out, the graph must still be buildable and
+        # must not reference clicks that only exist in the test half.
+        train_pairs = {(i.query_id, i.service_id) for i in scenario.splits.train if i.clicked}
+        query_nodes, service_nodes = np.nonzero(np.triu(scenario.graph.ctr > 0))
+        for query_node, service_node in zip(query_nodes, service_nodes):
+            assert (int(query_node), int(service_node - scenario.graph.num_queries)) in train_pairs
+
+
+class TestSliceMetrics:
+    def test_as_dict_round_trip(self):
+        from repro.eval.evaluator import SliceMetrics
+
+        metrics = SliceMetrics(auc=0.8, gauc=0.7, ndcg=0.9, num_interactions=10, num_queries=4)
+        data = metrics.as_dict()
+        assert data["auc"] == pytest.approx(0.8)
+        assert data["num_queries"] == 4

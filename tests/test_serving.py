@@ -1,0 +1,199 @@
+"""Tests for the serving substrate: store, retrieval, ranking, pipeline, extractors."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuildConfig
+from repro.serving import (
+    EmbeddingStore,
+    InnerProductRetriever,
+    ModelScoringRetriever,
+    NodeFeatureExtractor,
+    RankingModule,
+    RelationExtractor,
+    ServingPipeline,
+    deploy_model,
+)
+
+
+@pytest.fixture()
+def store(rng):
+    return EmbeddingStore(rng.normal(size=(20, 8)), rng.normal(size=(15, 8)))
+
+
+class TestEmbeddingStore:
+    def test_lookup_shapes(self, store):
+        assert store.query([0, 3]).shape == (2, 8)
+        assert store.service([1]).shape == (1, 8)
+        assert store.num_queries == 20 and store.num_services == 15
+        assert store.embedding_dim == 8
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            EmbeddingStore(rng.normal(size=(5, 8)), rng.normal(size=(5, 4)))
+        with pytest.raises(ValueError):
+            EmbeddingStore(rng.normal(size=(5,)), rng.normal(size=(5, 4)))
+
+    def test_refresh_bumps_version(self, store, rng):
+        version = store.refresh(rng.normal(size=(20, 8)), rng.normal(size=(15, 8)))
+        assert version == 1 and store.version == 1
+
+    def test_refresh_must_keep_dimension(self, store, rng):
+        with pytest.raises(ValueError):
+            store.refresh(rng.normal(size=(20, 16)), rng.normal(size=(15, 16)))
+
+
+class TestRetriever:
+    def test_matches_brute_force_inner_product(self, store):
+        retriever = InnerProductRetriever(store)
+        query_embedding = store.query([2])[0]
+        expected = np.argsort(-(store.all_services() @ query_embedding))[:5]
+        ids, scores = retriever.retrieve(2, 5)
+        assert list(ids) == list(expected)
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    def test_candidate_restriction(self, store):
+        retriever = InnerProductRetriever(store)
+        ids, _ = retriever.retrieve(0, 3, candidate_ids=[1, 4, 7])
+        assert set(ids.tolist()) <= {1, 4, 7}
+
+    def test_k_larger_than_catalogue(self, store):
+        ids, _ = InnerProductRetriever(store).retrieve(0, 100)
+        assert len(ids) == store.num_services
+
+    def test_normalized_mode_equals_cosine_ranking(self, store):
+        retriever = InnerProductRetriever(store, normalize=True)
+        query_embedding = store.query([1])[0]
+        services = store.all_services()
+        cosine = services @ query_embedding / (
+            np.linalg.norm(services, axis=1) * np.linalg.norm(query_embedding)
+        )
+        ids, _ = retriever.retrieve(1, 4)
+        assert list(ids) == list(np.argsort(-cosine)[:4])
+
+    def test_invalid_k_and_empty_candidates(self, store):
+        retriever = InnerProductRetriever(store)
+        with pytest.raises(ValueError):
+            retriever.retrieve(0, 0)
+        ids, scores = retriever.retrieve(0, 3, candidate_ids=[])
+        assert len(ids) == 0 and len(scores) == 0
+
+
+class TestRankingModule:
+    def test_rank_and_metadata(self, tiny_scenario, rng):
+        store = EmbeddingStore(
+            rng.normal(size=(tiny_scenario.dataset.num_queries, 8)),
+            rng.normal(size=(tiny_scenario.dataset.num_services, 8)),
+        )
+        module = RankingModule(InnerProductRetriever(store), dataset=tiny_scenario.dataset, top_k=5)
+        ranked_ids = module.rank(0)
+        detailed = module.rank_with_metadata(0)
+        assert len(ranked_ids) == 5
+        assert [entry.service_id for entry in detailed] == ranked_ids
+        assert all(entry.rank == position + 1 for position, entry in enumerate(detailed))
+        assert all(entry.mau >= 0 and 1 <= entry.rating <= 5 for entry in detailed)
+
+    def test_average_quality_requires_dataset(self, store):
+        module = RankingModule(InnerProductRetriever(store), dataset=None)
+        with pytest.raises(ValueError):
+            module.average_quality(0)
+
+    def test_invalid_top_k(self, store):
+        with pytest.raises(ValueError):
+            RankingModule(InnerProductRetriever(store), top_k=0)
+
+
+class TestModelScoringRetriever:
+    def test_matches_model_predictions(self, tiny_scenario):
+        from repro.models import LightGCN
+
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        retriever = ModelScoringRetriever(model, tiny_scenario.dataset.num_services)
+        ids, scores = retriever.retrieve(3, 5)
+        all_scores = model.predict(
+            np.full(tiny_scenario.dataset.num_services, 3),
+            np.arange(tiny_scenario.dataset.num_services),
+        )
+        expected = np.argsort(-all_scores)[:5]
+        assert list(ids) == list(expected)
+        assert np.allclose(scores, all_scores[expected])
+
+    def test_candidate_restriction_and_validation(self, tiny_scenario):
+        from repro.models import LightGCN
+
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        retriever = ModelScoringRetriever(model, tiny_scenario.dataset.num_services)
+        ids, _ = retriever.retrieve(0, 2, candidate_ids=[1, 3, 5])
+        assert set(ids.tolist()) <= {1, 3, 5}
+        with pytest.raises(ValueError):
+            retriever.retrieve(0, 0)
+        with pytest.raises(ValueError):
+            ModelScoringRetriever(model, 0)
+
+
+class TestPipelineScoringModes:
+    def test_deploy_model_defaults_to_model_scoring(self, tiny_scenario):
+        from repro.models import LightGCN
+
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        pipeline = deploy_model(model, tiny_scenario.dataset, top_k=3)
+        assert isinstance(pipeline.retriever, ModelScoringRetriever)
+        inner = deploy_model(model, tiny_scenario.dataset, top_k=3, scoring="inner_product")
+        assert isinstance(inner.retriever, InnerProductRetriever)
+
+    def test_invalid_scoring_mode_rejected(self, store):
+        with pytest.raises(ValueError):
+            ServingPipeline(store, scoring="bm25")
+        with pytest.raises(ValueError):
+            ServingPipeline(store, scoring="model")  # model object missing
+
+
+class TestPipelineAndExtractors:
+    def test_deploy_model_round_trip(self, tiny_scenario):
+        from repro.models import LightGCN
+
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        pipeline = deploy_model(model, tiny_scenario.dataset, top_k=4)
+        ranked = pipeline.rank(0)
+        assert len(ranked) == 4
+        assert all(0 <= service_id < tiny_scenario.dataset.num_services for service_id in ranked)
+        detailed = pipeline.rank_with_metadata(0, 2)
+        assert len(detailed) == 2
+
+    def test_pipeline_refresh_from_model(self, tiny_scenario):
+        from repro.models import LightGCN
+
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        pipeline = deploy_model(model, tiny_scenario.dataset)
+        assert pipeline.refresh_from_model(model) == 1
+
+    def test_node_feature_extractor(self, tiny_scenario):
+        extractor = NodeFeatureExtractor(tiny_scenario.dataset)
+        query_features = extractor.query_features()
+        service_features = extractor.service_features()
+        assert query_features["city"].shape == (tiny_scenario.dataset.num_queries,)
+        assert service_features["mau"].shape == (tiny_scenario.dataset.num_services,)
+        assert np.all(service_features["rating"] >= 1)
+
+    def test_relation_extractor_builds_equivalent_graph(self, tiny_scenario):
+        extractor = RelationExtractor(tiny_scenario.dataset, GraphBuildConfig())
+        graph = extractor.build_graph(tiny_scenario.splits.train, tiny_scenario.head_tail)
+        assert graph.num_edges == tiny_scenario.graph.num_edges
+        summary = extractor.relation_summary(graph)
+        assert summary.num_interaction_pairs > 0
+        assert summary.num_correlation_pairs > 0
+
+    def test_pipeline_is_a_valid_ab_ranker(self, tiny_scenario, rng):
+        from repro.eval.ab_test import ABTestConfig, OnlineABTest
+
+        store = EmbeddingStore(
+            rng.normal(size=(tiny_scenario.dataset.num_queries, 8)),
+            rng.normal(size=(tiny_scenario.dataset.num_services, 8)),
+        )
+        pipeline = ServingPipeline(store, tiny_scenario.dataset, top_k=3)
+        test = OnlineABTest(
+            tiny_scenario.dataset, tiny_scenario.oracle,
+            config=ABTestConfig(num_days=1, sessions_per_day=50, top_k=3, seed=0),
+        )
+        outcome = test.run(pipeline, pipeline)
+        assert outcome.baseline[0].impressions > 0

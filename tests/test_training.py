@@ -1,0 +1,129 @@
+"""Tests for the trainer, pre-trainer, fine-tuner and training history."""
+
+import numpy as np
+import pytest
+
+from repro.models import LightGCN
+from repro.models.garcia.config import GarciaConfig
+from repro.models.garcia.model import build_garcia
+from repro.training import Pretrainer, Trainer, TrainerConfig, seed_everything
+from repro.training.finetuner import Finetuner, train_garcia
+from repro.training.history import EpochRecord, TrainingHistory
+
+
+def _garcia(tiny_scenario, **overrides):
+    config = GarciaConfig(embedding_dim=8, intention_levels=2, seed=1, **overrides)
+    return build_garcia(
+        tiny_scenario.dataset, tiny_scenario.graph, tiny_scenario.forest,
+        tiny_scenario.head_tail, config,
+    )
+
+
+class TestTrainerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_epochs=-1)
+        with pytest.raises(ValueError):
+            TrainerConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainerConfig(batch_size=0)
+
+
+class TestTrainer:
+    def test_loss_decreases_over_epochs(self, tiny_scenario):
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, TrainerConfig(num_epochs=3, learning_rate=5e-3, eval_every=0))
+        history = trainer.fit(tiny_scenario.splits.train)
+        losses = history.losses()
+        assert len(losses) == 3
+        assert losses[-1] < losses[0]
+
+    def test_validation_metrics_recorded(self, tiny_scenario):
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, TrainerConfig(num_epochs=2, learning_rate=5e-3, eval_every=1))
+        history = trainer.fit(
+            tiny_scenario.splits.train, tiny_scenario.splits.validation, tiny_scenario.head_tail
+        )
+        assert all("overall_auc" in record.metrics for record in history.records)
+        assert history.total_steps > 0
+
+    def test_zero_epochs_is_a_noop(self, tiny_scenario):
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        history = Trainer(model, TrainerConfig(num_epochs=0)).fit(tiny_scenario.splits.train)
+        assert history.num_epochs == 0
+
+    def test_model_left_in_eval_mode(self, tiny_scenario):
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        Trainer(model, TrainerConfig(num_epochs=1, eval_every=0)).fit(tiny_scenario.splits.train)
+        assert not model.training
+
+
+class TestPretrainerAndFinetuner:
+    def test_pretrain_then_finetune_runs(self, tiny_scenario):
+        model = _garcia(tiny_scenario)
+        result = train_garcia(
+            model,
+            tiny_scenario.splits.train,
+            validation_interactions=tiny_scenario.splits.validation,
+            head_tail=tiny_scenario.head_tail,
+            pretrain_config=TrainerConfig(num_epochs=1, learning_rate=5e-3, eval_every=0),
+            finetune_config=TrainerConfig(num_epochs=1, learning_rate=5e-3, eval_every=1),
+        )
+        assert result.pretrain_history.num_epochs == 1
+        assert result.finetune_history.num_epochs == 1
+        assert np.isfinite(result.pretrain_history.losses()[0])
+
+    def test_pretrainer_skips_when_all_granularities_disabled(self, tiny_scenario):
+        model = _garcia(tiny_scenario, use_ktcl=False, use_secl=False, use_igcl=False)
+        history = Pretrainer(model, TrainerConfig(num_epochs=2, eval_every=0)).run(
+            tiny_scenario.splits.train
+        )
+        assert history.num_epochs == 0
+
+    def test_pretraining_moves_parameters(self, tiny_scenario):
+        model = _garcia(tiny_scenario)
+        before = model.state_dict()
+        Pretrainer(model, TrainerConfig(num_epochs=1, learning_rate=1e-2, eval_every=0)).run(
+            tiny_scenario.splits.train
+        )
+        after = model.state_dict()
+        moved = any(not np.allclose(before[name], after[name]) for name in before)
+        assert moved
+
+    def test_finetuner_loads_pretrained_state(self, tiny_scenario):
+        donor = _garcia(tiny_scenario)
+        pretrainer = Pretrainer(donor, TrainerConfig(num_epochs=1, learning_rate=1e-2, eval_every=0))
+        pretrainer.run(tiny_scenario.splits.train)
+        state = pretrainer.pretrained_state()
+
+        recipient = _garcia(tiny_scenario)
+        finetuner = Finetuner(recipient, TrainerConfig(num_epochs=0))
+        finetuner.run(tiny_scenario.splits.train, pretrained_state=state)
+        for name, value in recipient.state_dict().items():
+            assert np.allclose(value, state[name])
+
+
+class TestHistory:
+    def test_metric_series_and_best_epoch(self):
+        history = TrainingHistory()
+        history.append(EpochRecord(epoch=1, loss=1.0, metrics={"overall_auc": 0.6}, num_steps=10))
+        history.append(EpochRecord(epoch=2, loss=0.8, metrics={"overall_auc": 0.7}, num_steps=10))
+        history.append(EpochRecord(epoch=3, loss=0.7, metrics={}, num_steps=10))
+        assert history.losses() == [1.0, 0.8, 0.7]
+        assert history.metric("overall_auc")[:2] == [0.6, 0.7]
+        assert np.isnan(history.metric("overall_auc")[2])
+        assert history.best_epoch("overall_auc").epoch == 2
+        assert history.total_steps == 30
+
+    def test_best_epoch_none_when_metric_missing(self):
+        history = TrainingHistory()
+        history.append(EpochRecord(epoch=1, loss=1.0))
+        assert history.best_epoch("auc") is None
+
+
+class TestSeeding:
+    def test_seed_everything_returns_generator(self):
+        generator = seed_everything(42)
+        first = generator.random(3)
+        second = seed_everything(42).random(3)
+        assert np.allclose(first, second)
