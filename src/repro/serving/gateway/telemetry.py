@@ -1,0 +1,116 @@
+"""Serving telemetry: QPS, latency percentiles, cache and recall tracking.
+
+The gateway records one sample per answered request (latency, cache
+hit/miss), one sample per dispatched batch (its size), every hot-swap, and
+the latest ANN recall probe.  :meth:`GatewayTelemetry.summary` condenses
+those into the numbers the bench and the example report: QPS, p50/p95/p99
+latency in milliseconds, cache hit rate, mean batch size and recall@K.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+
+class GatewayTelemetry:
+    """Mutable counters and reservoirs behind the gateway's metrics.
+
+    Recording is lock-protected: with the background scheduler thread
+    running, ``record_*`` can race a producer thread's full-batch dispatch,
+    and the ``+=`` read-modify-writes would silently drop counts.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        self._started_at: Optional[float] = None
+        self._last_request_at: Optional[float] = None
+        self.latencies_s: List[float] = []
+        self.batch_sizes: List[int] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.backend_queries = 0
+        self.swaps = 0
+        self.last_swap_version: Optional[int] = None
+        self.recall_at_k: Optional[float] = None
+        self.recall_k: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_request(self, latency_s: float, cache_hit: bool) -> None:
+        now = self._clock()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now - latency_s
+            self._last_request_at = now
+            self.latencies_s.append(float(latency_s))
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_batch(self, size: int, backend_queries: int) -> None:
+        with self._lock:
+            self.batch_sizes.append(int(size))
+            self.backend_queries += int(backend_queries)
+
+    def record_swap(self, version: int) -> None:
+        with self._lock:
+            self.swaps += 1
+            self.last_swap_version = int(version)
+
+    def record_recall(self, recall: float, k: int) -> None:
+        with self._lock:
+            self.recall_at_k = float(recall)
+            self.recall_k = int(k)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    @property
+    def requests(self) -> int:
+        return len(self.latencies_s)
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._started_at is None or self._last_request_at is None:
+            return 0.0
+        return max(self._last_request_at - self._started_at, 1e-12)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.elapsed_s if self.requests else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_s), percentile) * 1e3)
+
+    def summary(self) -> Dict[str, float]:
+        """One flat dict of the headline serving metrics."""
+        mean_batch = float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        return {
+            "requests": float(self.requests),
+            "qps": self.qps,
+            "p50_ms": self.latency_ms(50),
+            "p95_ms": self.latency_ms(95),
+            "p99_ms": self.latency_ms(99),
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_batch_size": mean_batch,
+            "backend_queries": float(self.backend_queries),
+            "hot_swaps": float(self.swaps),
+            "recall_at_k": float("nan") if self.recall_at_k is None else self.recall_at_k,
+        }

@@ -6,7 +6,7 @@ trained model into an :class:`~repro.serving.embedding_store.EmbeddingStore`
 requests through retrieval + ranking and can be handed directly to the
 A/B-test simulator (it satisfies the ``rank(query_id, k)`` ranker protocol).
 
-Two scoring modes are supported:
+Three scoring modes are supported:
 
 * ``"model"`` (default) — every candidate service is scored with the model's
   own click head; exact but O(catalogue) per request.  Affordable at
@@ -14,6 +14,12 @@ Two scoring modes are supported:
 * ``"inner_product"`` — the paper's deployment choice (Sec. V-F.1): the MLP
   head is replaced by an inner product over exported embeddings so retrieval
   reduces to a maximum-inner-product search.
+* ``"ann"`` — the gateway's approximate variant of the same search: an
+  :class:`~repro.serving.gateway.index.RetrievalIndex` (IVF by default,
+  ``ann_index="lsh"`` for hyperplane LSH) answers the MIPS query from an
+  index instead of a brute-force scan.  For the full serving stack
+  (micro-batching, caching, hot-swap, telemetry) use
+  :func:`repro.serving.gateway.deploy_gateway`.
 """
 
 from __future__ import annotations
@@ -31,8 +37,9 @@ class ServingPipeline:
 
     def __init__(self, store: EmbeddingStore, dataset: Optional[ServiceSearchDataset] = None,
                  top_k: int = 5, normalize: bool = False, model=None,
-                 scoring: str = "inner_product") -> None:
-        if scoring not in ("inner_product", "model"):
+                 scoring: str = "inner_product", ann_index: str = "ivf",
+                 ann_index_params: Optional[dict] = None) -> None:
+        if scoring not in ("inner_product", "model", "ann"):
             raise ValueError(f"unknown scoring mode {scoring!r}")
         if scoring == "model" and model is None:
             raise ValueError("scoring='model' requires the trained model")
@@ -40,6 +47,11 @@ class ServingPipeline:
         self.scoring = scoring
         if scoring == "model":
             self.retriever = ModelScoringRetriever(model, store.num_services)
+        elif scoring == "ann":
+            from repro.serving.gateway import IndexRetriever
+
+            self.retriever = IndexRetriever(store, index=ann_index,
+                                            index_params=ann_index_params)
         else:
             self.retriever = InnerProductRetriever(store, normalize=normalize)
         self.ranking = RankingModule(self.retriever, dataset=dataset, top_k=top_k)
@@ -60,8 +72,10 @@ class ServingPipeline:
 
 def deploy_model(model, dataset: Optional[ServiceSearchDataset] = None,
                  top_k: int = 5, normalize: bool = False,
-                 scoring: str = "model") -> ServingPipeline:
+                 scoring: str = "model", ann_index: str = "ivf",
+                 ann_index_params: Optional[dict] = None) -> ServingPipeline:
     """Export a trained model's embeddings and wrap them in a serving pipeline."""
     store = EmbeddingStore.from_model(model)
     return ServingPipeline(store, dataset=dataset, top_k=top_k, normalize=normalize,
-                           model=model, scoring=scoring)
+                           model=model, scoring=scoring, ann_index=ann_index,
+                           ann_index_params=ann_index_params)
