@@ -7,8 +7,10 @@ from repro.eval.ab_test import ABTestConfig, ABTestResult, OnlineABTest
 from repro.eval.reporting import format_table, format_float_table
 from repro.eval.serving_metrics import (
     LoadTestSummary,
+    compression_report,
     latency_percentiles,
     load_test_rows,
+    memory_footprint,
     recall_at_k,
     summarize_gateway,
     summarize_load_test,
@@ -29,8 +31,10 @@ __all__ = [
     "format_table",
     "format_float_table",
     "LoadTestSummary",
+    "compression_report",
     "latency_percentiles",
     "load_test_rows",
+    "memory_footprint",
     "recall_at_k",
     "summarize_gateway",
     "summarize_load_test",

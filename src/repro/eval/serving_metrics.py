@@ -1,9 +1,12 @@
-"""Serving-side evaluation: ANN recall, latency percentiles, load-test reports.
+"""Serving-side evaluation: ANN recall, latency percentiles, load-test and
+memory-footprint reports.
 
 The offline metrics in :mod:`repro.eval.metrics` grade ranking *quality*
-(AUC, NDCG, CTR); this module grades the serving *system* — how faithfully
-and how fast the gateway answers.  It is shared by the throughput bench,
-the gateway's own recall probe and the online-serving example.
+(AUC, NDCG, CTR); this module grades the serving *system* — how faithfully,
+how fast, and (since the quantized-table subsystem,
+:mod:`repro.serving.quant`) how *small* the gateway answers.  It is shared
+by the throughput and quantization benches, the gateway's own recall probe
+and the online-serving example.
 """
 
 from __future__ import annotations
@@ -130,3 +133,55 @@ def summarize_gateway(mode: str, gateway,
 def load_test_rows(summaries: Sequence[LoadTestSummary]) -> List[Dict[str, object]]:
     """Rows for :func:`repro.eval.reporting.format_float_table` / JSON dumps."""
     return [summary.as_row() for summary in summaries]
+
+
+# --------------------------------------------------------------------- #
+# Memory footprint / compression reporting
+# --------------------------------------------------------------------- #
+def memory_footprint(table) -> int:
+    """Resident bytes of a service table or retrieval index.
+
+    Accepts anything with an ``nbytes`` attribute — a plain numpy table, a
+    quantized table (:class:`~repro.serving.quant.scalar.Int8Table` /
+    :class:`~repro.serving.quant.pq.PQTable`) or a built
+    :class:`~repro.serving.gateway.index.RetrievalIndex`.
+    """
+    nbytes = getattr(table, "nbytes", None)
+    if nbytes is None:
+        raise TypeError(f"{type(table).__name__} has no nbytes")
+    return int(nbytes)
+
+
+def compression_report(baseline_table, variants: Mapping[str, object],
+                       exact_ids: Optional[np.ndarray] = None,
+                       variant_ids: Optional[Mapping[str, np.ndarray]] = None,
+                       k: int = 10) -> List[Dict[str, object]]:
+    """Memory-vs-recall rows for compressed variants of one service table.
+
+    ``baseline_table`` is the uncompressed reference (typically the fp
+    snapshot's ``services`` array); ``variants`` maps a label to the
+    compressed table or index.  When ``exact_ids`` (the exact top-k matrix)
+    and per-variant ``variant_ids`` are supplied, each row also reports
+    recall@k, making the memory/quality trade-off one table.
+    """
+    baseline_bytes = memory_footprint(baseline_table)
+    if baseline_bytes <= 0:
+        raise ValueError("baseline table must occupy at least one byte")
+    rows: List[Dict[str, object]] = [{
+        "table": "baseline",
+        "bytes": baseline_bytes,
+        "compression_x": 1.0,
+        "recall_at_k": 1.0 if exact_ids is not None else float("nan"),
+    }]
+    for label, table in variants.items():
+        nbytes = memory_footprint(table)
+        recall = float("nan")
+        if exact_ids is not None and variant_ids and label in variant_ids:
+            recall = recall_at_k(variant_ids[label], exact_ids, k)
+        rows.append({
+            "table": label,
+            "bytes": nbytes,
+            "compression_x": baseline_bytes / nbytes,
+            "recall_at_k": recall,
+        })
+    return rows

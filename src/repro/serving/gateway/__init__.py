@@ -11,12 +11,18 @@ component onto the paper's deployment:
 Paper (Sec. V-F)        Gateway component
 =====================  =======================================================
 Inner-product head      :mod:`~repro.serving.gateway.index` —
-(latency-motivated      :class:`RetrievalIndex` with an exact scan plus two
+(latency-motivated      :class:`RetrievalIndex` with an exact scan plus
 MIPS retrieval)         pure-numpy ANN indexes (:class:`IVFIndex` coarse
-                        quantizer, :class:`LSHIndex` hyperplane hashing)
+                        quantizer, :class:`LSHIndex` hyperplane hashing) and
+                        the quantized indexes from
+                        :mod:`repro.serving.quant` (:class:`IVFPQIndex`
+                        coarse cells + PQ residual codes, :class:`Int8Index`
+                        int8 exact scan)
 Daily embedding         :mod:`~repro.serving.gateway.store` —
 refresh (Fig. 9)        :class:`VersionedEmbeddingStore`, shard-aware with
-                        atomic hot-swap and stale-read protection
+                        atomic hot-swap, stale-read protection, and
+                        quantized (int8 / PQ) snapshot tables published
+                        alongside the fp arrays
 Online serving under    :mod:`~repro.serving.gateway.scheduler` —
 heavy traffic           :class:`BatchScheduler` micro-batching with a
                         max-wait deadline; :mod:`~repro.serving.gateway.cache`
@@ -49,6 +55,7 @@ from repro.serving.gateway.store import (
 )
 from repro.serving.gateway.telemetry import GatewayTelemetry
 from repro.serving.gateway.workload import clustered_embeddings, zipf_query_ids
+from repro.serving.quant.ivfpq import Int8Index, IVFPQIndex
 
 __all__ = [
     "BatchScheduler",
@@ -56,7 +63,9 @@ __all__ = [
     "ExactIndex",
     "GatewayTelemetry",
     "IVFIndex",
+    "IVFPQIndex",
     "IndexRetriever",
+    "Int8Index",
     "LRUTTLCache",
     "LSHIndex",
     "PendingRequest",

@@ -71,12 +71,22 @@ class ServingGateway:
         Indexes are kept per store version so a batch that pinned snapshot
         ``v`` mid-hot-swap still searches the version-``v`` index — never a
         mixed-version pairing.  Only the two newest versions are retained.
+
+        When the store published an int8 table with the snapshot and the
+        index kind can consume one (``int8`` scans it, ``ivfpq`` refines
+        against it), the published table is shared instead of re-quantizing
+        the catalogue at every build.
         """
         with self._index_lock:
             index = self._indexes.get(snapshot.version)
             if index is None:
+                params = dict(self.index_params)
+                if self.index_kind in ("int8", "ivfpq"):
+                    published = getattr(snapshot, "quantized", {}).get("int8")
+                    if published is not None:
+                        params.setdefault("int8_table", published)
                 index = build_index(self.index_kind, snapshot.all_services(),
-                                    **self.index_params)
+                                    **params)
                 self._indexes[snapshot.version] = index
                 for stale in sorted(self._indexes)[:-2]:
                     del self._indexes[stale]
@@ -211,9 +221,20 @@ class ServingGateway:
 
 
 def deploy_gateway(model, index: str = "ivf", index_params: Optional[dict] = None,
-                   num_shards: int = 1, **gateway_kwargs) -> ServingGateway:
-    """Export a trained model's embeddings behind a full serving gateway."""
-    store = VersionedEmbeddingStore.from_model(model, num_shards=num_shards)
+                   num_shards: int = 1, quantization: Sequence[str] = (),
+                   quantization_params: Optional[dict] = None,
+                   **gateway_kwargs) -> ServingGateway:
+    """Export a trained model's embeddings behind a full serving gateway.
+
+    ``quantization`` kinds (``"int8"`` / ``"pq"``) are published with every
+    snapshot so compressed service tables hot-swap with the fp arrays, with
+    per-kind options in ``quantization_params``; pick ``index="ivfpq"`` /
+    ``"int8"`` to also *search* through quantized codes.
+    """
+    store = VersionedEmbeddingStore.from_model(
+        model, num_shards=num_shards, quantization=quantization,
+        quantization_params=quantization_params,
+    )
     return ServingGateway(store, index=index, index_params=index_params, **gateway_kwargs)
 
 

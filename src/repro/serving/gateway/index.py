@@ -19,6 +19,12 @@ interface:
   candidates are gathered from hash buckets across several tables and
   re-ranked exactly.
 
+The quantized indexes from :mod:`repro.serving.quant.ivfpq`
+(:class:`~repro.serving.quant.ivfpq.IVFPQIndex` coarse cells + product-
+quantized residual codes, :class:`~repro.serving.quant.ivfpq.Int8Index`
+int8 exact scan) register under the same interface as ``"ivfpq"`` and
+``"int8"``; :func:`build_index` loads them on demand.
+
 All indexes are immutable once built; the gateway rebuilds them on embedding
 hot-swap, which keeps index state trivially consistent with the store
 version it was built from.
@@ -26,9 +32,11 @@ version it was built from.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
+
+from repro.serving.quant.kmeans import kmeans
 
 
 class RetrievalIndex:
@@ -49,6 +57,11 @@ class RetrievalIndex:
 
     @property
     def num_services(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of everything the index needs at serving time."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
@@ -101,6 +114,12 @@ class ExactIndex(RetrievalIndex):
             raise RuntimeError("index not built")
         return self._services.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        if self._services is None:
+            raise RuntimeError("index not built")
+        return int(self._services.nbytes)
+
     def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         if self._services is None:
             raise RuntimeError("index not built")
@@ -138,7 +157,7 @@ class IVFIndex(RetrievalIndex):
         self.num_probes = num_probes
         self.kmeans_iters = kmeans_iters
         self.seed = seed
-        self._services: Optional[np.ndarray] = None
+        self._num_services = 0
         self._centroids: Optional[np.ndarray] = None
         self._half_sq_norms: Optional[np.ndarray] = None
         self._list_ids: List[np.ndarray] = []
@@ -154,19 +173,9 @@ class IVFIndex(RetrievalIndex):
         num_services = services.shape[0]
         num_lists = self.num_lists or max(1, int(round(np.sqrt(num_services))))
         num_lists = min(num_lists, num_services)
-        rng = np.random.default_rng(self.seed)
-        centroids = services[rng.choice(num_services, size=num_lists, replace=False)].copy()
-        assignment = np.zeros(num_services, dtype=np.int64)
-        for _ in range(max(1, self.kmeans_iters)):
-            # argmin ||x - c||^2 == argmax x.c - ||c||^2 / 2
-            affinity = services @ centroids.T - 0.5 * np.sum(centroids ** 2, axis=1)
-            assignment = np.argmax(affinity, axis=1)
-            for cell in range(num_lists):
-                members = assignment == cell
-                if np.any(members):
-                    centroids[cell] = services[members].mean(axis=0)
-                else:  # re-seed empty cells on a random point
-                    centroids[cell] = services[rng.integers(num_services)]
+        centroids, assignment = kmeans(
+            services, num_lists, iters=max(1, self.kmeans_iters), rng=self.seed
+        )
         # Drop cells that ended empty so every stored list is scannable.
         self._list_ids, self._list_vectors, kept = [], [], []
         for cell in range(num_lists):
@@ -178,18 +187,30 @@ class IVFIndex(RetrievalIndex):
             self._list_vectors.append(np.ascontiguousarray(services[ids]))
         self._centroids = centroids[kept]
         self._half_sq_norms = 0.5 * np.sum(self._centroids ** 2, axis=1)
-        self._services = services
+        # The inverted lists hold a full copy of every vector; keeping the
+        # original table too would double resident memory for no reader.
+        self._num_services = num_services
         return self
 
     @property
     def num_services(self) -> int:
-        if self._services is None:
+        if self._centroids is None:
             raise RuntimeError("index not built")
-        return self._services.shape[0]
+        return self._num_services
 
     @property
     def num_cells(self) -> int:
         return len(self._list_ids)
+
+    @property
+    def nbytes(self) -> int:
+        if self._centroids is None:
+            raise RuntimeError("index not built")
+        return int(
+            sum(vectors.nbytes for vectors in self._list_vectors)
+            + sum(ids.nbytes for ids in self._list_ids)
+            + self._centroids.nbytes
+        )
 
     def cell_members(self, cell: int) -> np.ndarray:
         """Service ids stored in one inverted list (diagnostics/tests)."""
@@ -199,7 +220,7 @@ class IVFIndex(RetrievalIndex):
     # Search: probe best cells, list-major candidate scoring
     # ------------------------------------------------------------------ #
     def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        if self._services is None or self._centroids is None:
+        if self._centroids is None:
             raise RuntimeError("index not built")
         queries = self._check_queries(queries, k)
         batch = queries.shape[0]
@@ -244,6 +265,13 @@ class LSHIndex(RetrievalIndex):
     signs packed into an integer bucket key.  A query gathers the union of
     its own bucket across all tables, plus (multi-probe) every bucket at
     Hamming distance one, then re-ranks the candidates exactly.
+
+    Buckets are stored CSR-style (sorted unique keys + member offsets), so
+    candidate gathering is *batched*: every probe key of the whole
+    micro-batch resolves through one ``searchsorted`` per table, bucket
+    members expand through one repeat-trick, and per-query de-duplication is
+    a single ``unique`` over ``(query, candidate)`` pairs — the per-query
+    python-dict lookups that used to dominate at 10k+ services are gone.
     """
 
     name = "lsh"
@@ -260,7 +288,9 @@ class LSHIndex(RetrievalIndex):
         self.seed = seed
         self._services: Optional[np.ndarray] = None
         self._planes: Optional[np.ndarray] = None
-        self._tables: List[Dict[int, np.ndarray]] = []
+        self._bucket_keys: List[np.ndarray] = []    # per table: sorted unique keys
+        self._bucket_starts: List[np.ndarray] = []  # per table: CSR offsets
+        self._bucket_members: List[np.ndarray] = [] # per table: members, key-major
 
     def build(self, services: np.ndarray) -> "LSHIndex":
         services = np.asarray(services, dtype=np.float64)
@@ -270,16 +300,17 @@ class LSHIndex(RetrievalIndex):
         dim = services.shape[1]
         self._planes = rng.normal(size=(self.num_tables, self.num_bits, dim))
         powers = 1 << np.arange(self.num_bits, dtype=np.int64)
-        self._tables = []
+        self._bucket_keys, self._bucket_starts, self._bucket_members = [], [], []
         for table in range(self.num_tables):
             bits = (services @ self._planes[table].T) > 0
             keys = bits @ powers
-            buckets: Dict[int, List[int]] = {}
-            for service_id, key in enumerate(keys):
-                buckets.setdefault(int(key), []).append(service_id)
-            self._tables.append(
-                {key: np.asarray(members, dtype=np.int64) for key, members in buckets.items()}
+            order = np.argsort(keys, kind="stable")
+            unique_keys, counts = np.unique(keys, return_counts=True)
+            self._bucket_keys.append(unique_keys)
+            self._bucket_starts.append(
+                np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
             )
+            self._bucket_members.append(order.astype(np.int64))
         self._services = services
         return self
 
@@ -289,20 +320,78 @@ class LSHIndex(RetrievalIndex):
             raise RuntimeError("index not built")
         return self._services.shape[0]
 
-    def _candidates(self, keys: np.ndarray) -> np.ndarray:
-        pieces: List[np.ndarray] = []
-        for table, key in zip(self._tables, keys):
-            bucket = table.get(int(key))
-            if bucket is not None:
-                pieces.append(bucket)
-            if self.multiprobe:
-                for bit in range(self.num_bits):
-                    neighbour = table.get(int(key) ^ (1 << bit))
-                    if neighbour is not None:
-                        pieces.append(neighbour)
-        if not pieces:
-            return np.zeros(0, dtype=np.int64)
-        return np.unique(np.concatenate(pieces))
+    @property
+    def nbytes(self) -> int:
+        if self._services is None:
+            raise RuntimeError("index not built")
+        return int(
+            self._services.nbytes
+            + self._planes.nbytes
+            + sum(keys.nbytes for keys in self._bucket_keys)
+            + sum(starts.nbytes for starts in self._bucket_starts)
+            + sum(members.nbytes for members in self._bucket_members)
+        )
+
+    def _probe_keys(self, keys: np.ndarray) -> np.ndarray:
+        """All probed bucket keys per (table, query): own key + 1-bit flips."""
+        if not self.multiprobe:
+            return keys[:, :, None]
+        flips = np.concatenate(([0], 1 << np.arange(self.num_bits, dtype=np.int64)))
+        return keys[:, :, None] ^ flips
+
+    def _batch_candidates(self, keys: np.ndarray, batch: int
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate ``(query_row, service_id)`` pairs for a whole batch.
+
+        ``keys`` is the ``(tables, batch)`` bucket-key matrix.  All probes of
+        all queries resolve with one ``searchsorted`` per table; the result
+        is de-duplicated per query in a single ``unique``.
+        """
+        probe_keys = self._probe_keys(keys)  # (tables, batch, probes)
+        probes = probe_keys.shape[2]
+        row_of_probe = np.repeat(np.arange(batch, dtype=np.int64), probes)
+        pair_rows: List[np.ndarray] = []
+        pair_ids: List[np.ndarray] = []
+        for table in range(self.num_tables):
+            unique_keys = self._bucket_keys[table]
+            if unique_keys.size == 0:
+                continue
+            starts = self._bucket_starts[table]
+            members = self._bucket_members[table]
+            flat_keys = probe_keys[table].reshape(-1)
+            bucket = np.searchsorted(unique_keys, flat_keys)
+            bucket_clipped = np.minimum(bucket, unique_keys.size - 1)
+            hit = unique_keys[bucket_clipped] == flat_keys
+            bucket = bucket_clipped[hit]
+            lengths = starts[bucket + 1] - starts[bucket]
+            total = int(lengths.sum())
+            if total == 0:
+                continue
+            # Expand each hit bucket's member slice with one repeat-trick.
+            segment_starts = np.cumsum(lengths) - lengths
+            positions = (np.arange(total, dtype=np.int64)
+                         + np.repeat(starts[bucket] - segment_starts, lengths))
+            pair_ids.append(members[positions])
+            pair_rows.append(np.repeat(row_of_probe[hit], lengths))
+        if not pair_ids:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        rows = np.concatenate(pair_rows)
+        ids = np.concatenate(pair_ids)
+        # De-duplicate per query.  A (batch, services) bitmap + nonzero is
+        # one dense scatter/scan and returns row-sorted pairs; fall back to
+        # sorting packed keys when the bitmap would be unreasonably large.
+        num_services = self.num_services
+        if batch * num_services <= 1 << 26:
+            seen = np.zeros((batch, num_services), dtype=bool)
+            seen[rows, ids] = True
+            return [np.asarray(axis) for axis in np.nonzero(seen)]
+        combined = rows * np.int64(num_services) + ids
+        combined.sort()
+        keep = np.empty(combined.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(combined[1:], combined[:-1], out=keep[1:])
+        combined = combined[keep]
+        return combined // num_services, combined % num_services
 
     def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         if self._services is None or self._planes is None:
@@ -313,10 +402,12 @@ class LSHIndex(RetrievalIndex):
         # (tables, batch) bucket keys in two tensordots.
         bits = np.einsum("tbd,qd->tqb", self._planes, queries) > 0
         keys = bits @ powers
+        cand_rows, cand_ids = self._batch_candidates(keys, batch)
+        row_starts = np.searchsorted(cand_rows, np.arange(batch + 1))
         out_ids = np.empty((batch, k), dtype=np.int64)
         out_scores = np.empty((batch, k))
         for row in range(batch):
-            candidates = self._candidates(keys[:, row])
+            candidates = cand_ids[row_starts[row]:row_starts[row + 1]]
             scores = (
                 self._services[candidates] @ queries[row]
                 if candidates.size
@@ -333,8 +424,24 @@ _INDEX_REGISTRY = {
 }
 
 
+def _register_quantized_indexes() -> None:
+    """Pull the quantized indexes into the registry (import-cycle-free).
+
+    :mod:`repro.serving.quant.ivfpq` subclasses :class:`RetrievalIndex`, so
+    it imports this module; loading it lazily here (rather than at module
+    top) lets either import order work.
+    """
+    from repro.serving.quant.ivfpq import Int8Index, IVFPQIndex
+
+    _INDEX_REGISTRY.setdefault(IVFPQIndex.name, IVFPQIndex)
+    _INDEX_REGISTRY.setdefault(Int8Index.name, Int8Index)
+
+
 def build_index(kind: str, services: np.ndarray, **params) -> RetrievalIndex:
-    """Build a retrieval index by registry name (``exact`` / ``ivf`` / ``lsh``)."""
+    """Build a retrieval index by registry name
+    (``exact`` / ``ivf`` / ``lsh`` / ``ivfpq`` / ``int8``)."""
+    if kind not in _INDEX_REGISTRY:
+        _register_quantized_indexes()
     try:
         factory = _INDEX_REGISTRY[kind]
     except KeyError:
@@ -345,4 +452,5 @@ def build_index(kind: str, services: np.ndarray, **params) -> RetrievalIndex:
 
 def index_kinds() -> Tuple[str, ...]:
     """Registered index names, exact scan first."""
+    _register_quantized_indexes()
     return tuple(sorted(_INDEX_REGISTRY, key=lambda name: (name != "exact", name)))

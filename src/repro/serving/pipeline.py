@@ -20,6 +20,11 @@ Three scoring modes are supported:
   index instead of a brute-force scan.  For the full serving stack
   (micro-batching, caching, hot-swap, telemetry) use
   :func:`repro.serving.gateway.deploy_gateway`.
+* ``"ivfpq"`` / ``"int8"`` — quantized MIPS over compressed service tables
+  (:mod:`repro.serving.quant`): ``"int8"`` scans symmetric int8 codes
+  exactly (4x smaller than float32, recall ~1), ``"ivfpq"`` probes coarse
+  IVF cells and scores product-quantized residual codes with ADC lookup
+  tables.  Sugar for ``scoring="ann"`` with the matching index kind.
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ class ServingPipeline:
                  top_k: int = 5, normalize: bool = False, model=None,
                  scoring: str = "inner_product", ann_index: str = "ivf",
                  ann_index_params: Optional[dict] = None) -> None:
-        if scoring not in ("inner_product", "model", "ann"):
+        if scoring not in ("inner_product", "model", "ann", "ivfpq", "int8"):
             raise ValueError(f"unknown scoring mode {scoring!r}")
         if scoring == "model" and model is None:
             raise ValueError("scoring='model' requires the trained model")
@@ -47,10 +52,12 @@ class ServingPipeline:
         self.scoring = scoring
         if scoring == "model":
             self.retriever = ModelScoringRetriever(model, store.num_services)
-        elif scoring == "ann":
+        elif scoring in ("ann", "ivfpq", "int8"):
             from repro.serving.gateway import IndexRetriever
 
-            self.retriever = IndexRetriever(store, index=ann_index,
+            # "ivfpq" / "int8" are sugar for ann with the quantized index.
+            index = ann_index if scoring == "ann" else scoring
+            self.retriever = IndexRetriever(store, index=index,
                                             index_params=ann_index_params)
         else:
             self.retriever = InnerProductRetriever(store, normalize=normalize)

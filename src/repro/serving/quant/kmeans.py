@@ -1,0 +1,62 @@
+"""Seeded Lloyd k-means shared by the coarse and product quantizers.
+
+Every quantizer in this package — the IVF coarse partitioner, the PQ
+sub-space codebooks and the IVF-PQ residual codebooks — reduces to the same
+primitive: cluster a point set into ``k`` cells with a fixed seed so index
+builds are reproducible across the daily refresh (Sec. V-F / Fig. 9).  The
+assignment step uses the expanded-distance identity
+
+    argmin_c ||x - c||^2  ==  argmax_c  x.c - ||c||^2 / 2
+
+so each iteration is one BLAS matmul instead of a pairwise-distance tensor.
+Empty cells are re-seeded on a random point, which keeps all ``k`` centroids
+live even on degenerate inputs (fewer distinct points than cells).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator]
+
+
+def kmeans(points: np.ndarray, num_clusters: int, iters: int = 8,
+           rng: RngLike = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` into ``num_clusters`` cells.
+
+    Returns ``(centroids, assignment)`` where ``centroids`` has shape
+    ``(num_clusters, dim)`` in the input dtype's float flavour and
+    ``assignment`` maps each point to its final cell (``int64``).
+    ``num_clusters`` is clamped to the number of points.
+    """
+    points = np.asarray(points)
+    if points.ndim != 2:
+        raise ValueError("points must be a (num_points, dim) matrix")
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    if iters <= 0:
+        raise ValueError("iters must be positive")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    num_points = points.shape[0]
+    num_clusters = min(num_clusters, num_points)
+    centroids = points[rng.choice(num_points, size=num_clusters, replace=False)].copy()
+    assignment = np.zeros(num_points, dtype=np.int64)
+    for _ in range(iters):
+        affinity = points @ centroids.T - 0.5 * np.sum(centroids ** 2, axis=1)
+        assignment = np.argmax(affinity, axis=1)
+        for cell in range(num_clusters):
+            members = assignment == cell
+            if np.any(members):
+                centroids[cell] = points[members].mean(axis=0)
+            else:  # re-seed empty cells on a random point
+                centroids[cell] = points[rng.integers(num_points)]
+    return centroids, assignment
+
+
+def assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid (squared euclidean) assignment, one matmul."""
+    affinity = points @ centroids.T - 0.5 * np.sum(centroids ** 2, axis=1)
+    return np.argmax(affinity, axis=1)

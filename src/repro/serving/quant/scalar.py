@@ -1,0 +1,133 @@
+"""Symmetric int8 scalar quantization with per-dimension scales.
+
+The daily-refresh serving contract (Sec. V-F / Fig. 9) re-exports the full
+service table every day; at production catalogue sizes the table's resident
+size — not the scoring FLOPs — caps how many services one shard can hold.
+Symmetric int8 quantization stores each embedding entry in one byte:
+
+    code[i, d] = clip(round(x[i, d] / scale[d]), -127, 127)
+
+with ``scale[d] = max_i |x[i, d]| / 127`` chosen per dimension, so the
+round-trip error is bounded by ``scale[d] / 2`` elementwise.  Scoring never
+decompresses the table: folding the scales into the query once,
+
+    q' = q * scale        =>        q . decode(code) == q' . code,
+
+turns maximum-inner-product search over the quantized table into a plain
+matmul against the int8 codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class Int8Quantizer:
+    """Per-dimension symmetric linear quantizer onto the int8 range."""
+
+    def __init__(self) -> None:
+        self.scales_: Optional[np.ndarray] = None
+
+    @property
+    def dim(self) -> int:
+        if self.scales_ is None:
+            raise RuntimeError("quantizer not fitted")
+        return self.scales_.shape[0]
+
+    def fit(self, vectors: np.ndarray) -> "Int8Quantizer":
+        vectors = _check_matrix(vectors)
+        peaks = np.max(np.abs(vectors), axis=0)
+        scales = peaks / 127.0
+        scales[scales == 0.0] = 1.0  # constant-zero dims decode to exact zero
+        self.scales_ = scales.astype(np.float32)
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """``(n, dim)`` float matrix -> ``(n, dim)`` int8 code matrix."""
+        vectors = _check_matrix(vectors)
+        if self.scales_ is None:
+            raise RuntimeError("quantizer not fitted")
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        codes = np.rint(vectors / self.scales_)
+        return np.clip(codes, -127, 127).astype(np.int8)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct float32 embeddings from int8 codes."""
+        if self.scales_ is None:
+            raise RuntimeError("quantizer not fitted")
+        return np.asarray(codes, dtype=np.float32) * self.scales_
+
+    def transform_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Fold the scales into fp queries: ``q' . code == q . decode(code)``."""
+        if self.scales_ is None:
+            raise RuntimeError("quantizer not fitted")
+        queries = _check_matrix(queries)
+        return queries.astype(np.float32) * self.scales_
+
+
+@dataclass(frozen=True)
+class Int8Table:
+    """An int8-coded service table, row-aligned with the fp table it mirrors."""
+
+    codes: np.ndarray   # (num_vectors, dim) int8, read-only
+    scales: np.ndarray  # (dim,) float32
+
+    kind = "int8"
+
+    @property
+    def num_vectors(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.codes.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the compressed table (codes + scales)."""
+        return int(self.codes.nbytes + self.scales.nbytes)
+
+    def decode(self, ids: Optional[np.ndarray] = None) -> np.ndarray:
+        codes = self.codes if ids is None else self.codes[np.asarray(ids, dtype=np.int64)]
+        return codes.astype(np.float32) * self.scales
+
+    def scores(self, queries: np.ndarray, chunk: int = 8192) -> np.ndarray:
+        """``(batch, num_vectors)`` inner products against the decoded table.
+
+        The scales are folded into the queries, so only ``chunk`` code rows
+        at a time are widened to float32 — peak temp memory stays bounded
+        regardless of table size.
+        """
+        queries = _check_matrix(queries).astype(np.float32) * self.scales
+        out = np.empty((queries.shape[0], self.num_vectors), dtype=np.float32)
+        for lo in range(0, self.num_vectors, max(1, chunk)):
+            hi = min(lo + chunk, self.num_vectors)
+            out[:, lo:hi] = queries @ self.codes[lo:hi].astype(np.float32).T
+        return out
+
+    def rows(self, lo: int, hi: int) -> "Int8Table":
+        """A zero-copy view of one contiguous row range (shard layout)."""
+        return Int8Table(codes=self.codes[lo:hi], scales=self.scales)
+
+
+def quantize_int8(vectors: np.ndarray) -> Int8Table:
+    """Fit + encode one float table into an immutable :class:`Int8Table`."""
+    quantizer = Int8Quantizer().fit(vectors)
+    codes = quantizer.encode(vectors)
+    codes.setflags(write=False)
+    scales = quantizer.scales_.copy()
+    scales.setflags(write=False)
+    return Int8Table(codes=codes, scales=scales)
+
+
+def _check_matrix(vectors: np.ndarray) -> np.ndarray:
+    vectors = np.asarray(vectors)
+    if vectors.ndim == 1:
+        vectors = vectors[None, :]
+    if vectors.ndim != 2:
+        raise ValueError("expected a (n, dim) matrix")
+    return vectors
