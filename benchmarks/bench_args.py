@@ -1,0 +1,75 @@
+"""Shared CLI for the serving benchmarks (and their CI smoke gate).
+
+Every serving bench is runnable two ways with identical semantics:
+
+* under pytest-benchmark (``python -m pytest benchmarks/bench_<name>.py``),
+  the full-scale mode the results/ JSONs are tracked at;
+* as a script (``python -m benchmarks.bench_<name> [--smoke] [--seed N]
+  [--out PATH]``), which is what the CI ``bench-smoke`` job drives.
+
+The flags are uniform across benches — one parser builder here instead of
+per-bench argparse drift — and ``--smoke`` switches to a reduced workload
+(smaller catalogue, fewer requests) whose recall/ratio floors still gate
+regressions at pull-request latency.
+
+This module deliberately has no pytest dependency so the script entry points
+stay importable in minimal environments; ``benchmarks/conftest.py`` imports
+:data:`RESULTS_DIR` from here to keep a single source of truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Optional, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def parse_bench_args(
+    name: str,
+    description: str,
+    argv: Optional[Sequence[str]] = None,
+) -> argparse.Namespace:
+    """Parse the uniform bench flags: ``--seed``, ``--out``, ``--smoke``.
+
+    ``name`` is the bench's result stem — the default ``--out`` is
+    ``benchmarks/results/<name>.json`` (the file the full-scale run tracks;
+    CI smoke runs upload whatever ``--out`` they wrote as an artifact).
+    """
+    parser = argparse.ArgumentParser(
+        description=description,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload seed (embeddings, request stream and probes derive from it)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=RESULTS_DIR / f"{name}.json",
+        help="JSON output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced workload + hard recall/ratio floors (the CI perf gate)",
+    )
+    return parser.parse_args(argv)
+
+
+def write_json(path: pathlib.Path, payload: dict) -> None:
+    """Persist one bench payload, creating the results directory on demand."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def require(condition: bool, message: str) -> None:
+    """Assert-like gate that survives ``python -O``: exit non-zero on failure."""
+    if not condition:
+        raise SystemExit(f"BENCH GATE FAILED: {message}")

@@ -4,8 +4,6 @@ Paper shape to reproduce: the full GARCIA beats "GARCIA w.o. ALL" (no
 contrastive pre-training), and each granularity contributes.
 """
 
-import numpy as np
-
 from benchmarks.conftest import report_result
 from repro.experiments import fig4_mgcl_ablation
 

@@ -19,36 +19,35 @@ Expected shape: int8 holds recall@10 >= 0.95 at 4x (8x vs float64) less
 table memory; IVF-PQ matches or beats fp IVF QPS while its shippable codes
 are an order of magnitude smaller than the fp table.  Results are printed
 as tables and persisted to ``benchmarks/results/quantized_serving.json``.
+
+Runnable standalone with the uniform bench flags::
+
+    python -m benchmarks.bench_quantized_serving [--smoke] [--seed N] [--out P]
+
+``--smoke`` is the CI perf gate: reduced catalogue, one IVF-PQ compression
+level, hard recall floors (int8 >= 0.95, IVF-PQ >= 0.85) and the
+deterministic compression-ratio gates — no wall-clock ordering asserts.
 """
 
 import json
-import time
 
 import numpy as np
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.bench_args import RESULTS_DIR, parse_bench_args, require, write_json
+from benchmarks.serving_load import drive, make_workload
 from repro.eval.reporting import format_float_table
 from repro.eval.serving_metrics import (
     compression_report,
     load_test_rows,
-    recall_at_k,
     summarize_gateway,
 )
-from repro.serving.gateway import (
-    ExactIndex,
-    ServingGateway,
-    VersionedEmbeddingStore,
-    clustered_embeddings,
-    zipf_query_ids,
-)
+from repro.serving.gateway import ExactIndex, ServingGateway, VersionedEmbeddingStore
 from repro.serving.quant import quantize_int8, quantize_pq
 
-NUM_QUERIES = 2_000
-NUM_SERVICES = 12_000
-DIM = 48
-NUM_REQUESTS = 4_096
-BATCH_SIZE = 64
-TOP_K = 10
+FULL = dict(num_queries=2_000, num_services=12_000, dim=48,
+            num_requests=4_096, batch_size=64, top_k=10)
+SMOKE = dict(num_queries=500, num_services=4_000, dim=48,
+             num_requests=1_024, batch_size=64, top_k=10)
 
 MODES = {
     "exact": dict(index="exact", index_params=None),
@@ -58,29 +57,27 @@ MODES = {
     "ivfpq_m8": dict(index="ivfpq", index_params=dict(num_subspaces=8)),
     "ivfpq_m16": dict(index="ivfpq", index_params=dict(num_subspaces=16)),
 }
+#: The smoke gate drops the m4/m16 sweep: one compression level bounds the
+#: CI minutes while the m8 floor still guards the PQ pipeline end to end.
+SMOKE_MODES = ("exact", "ivf", "int8", "ivfpq_m8")
 
 
-def run_load_test():
-    queries, services = clustered_embeddings(
-        NUM_QUERIES, NUM_SERVICES, DIM, num_clusters=16, spread=0.2, seed=0
-    )
-    stream = zipf_query_ids(NUM_QUERIES, NUM_REQUESTS, exponent=1.1, seed=1)
+def run_load_test(params=None, seed=0, modes=None):
+    params = params or FULL
+    queries, services, stream = make_workload(params, seed)
+    batch_size, top_k = params["batch_size"], params["top_k"]
     summaries = []
-    for mode, config in MODES.items():
+    for mode in modes or MODES:
+        config = MODES[mode]
         store = VersionedEmbeddingStore(queries, services, num_shards=4)
         gateway = ServingGateway(
             store, index=config["index"], index_params=config["index_params"],
-            top_k=TOP_K, max_batch_size=BATCH_SIZE, cache_capacity=0,
+            top_k=top_k, max_batch_size=batch_size, cache_capacity=0,
         )
-        started = time.perf_counter()
-        for offset in range(0, len(stream), BATCH_SIZE):
-            handles = [gateway.submit(int(query_id)) for query_id in
-                       stream[offset:offset + BATCH_SIZE]]
-            gateway.flush()
-            for handle in handles:
-                handle.result(0)
-        elapsed = time.perf_counter() - started
-        gateway.recall_probe(k=TOP_K, num_queries=512, seed=2)
+        elapsed = drive(gateway, stream, batch_size)
+        gateway.recall_probe(k=top_k,
+                             num_queries=min(512, params["num_queries"]),
+                             seed=seed + 2)
         index_bytes = gateway._index_for(store.snapshot()).nbytes
         summaries.append(summarize_gateway(
             mode, gateway, elapsed_s=elapsed,
@@ -89,25 +86,42 @@ def run_load_test():
     return summaries
 
 
-def table_compression_rows(queries, services):
+def table_compression_rows(queries, services, top_k=10, subspaces=(4, 8, 16)):
     """Service-table memory vs recall of a pure (gateway-free) table scan."""
     probe = queries[:512]
-    exact_ids, _ = ExactIndex().build(services).search(probe, TOP_K)
+    exact_ids, _ = ExactIndex().build(services).search(probe, top_k)
     int8_table = quantize_int8(services)
     pq_tables = {
-        f"pq_m{m}": quantize_pq(services, num_subspaces=m) for m in (4, 8, 16)
+        f"pq_m{m}": quantize_pq(services, num_subspaces=m) for m in subspaces
     }
     variant_ids = {
-        "int8": np.argsort(-int8_table.scores(probe), axis=1)[:, :TOP_K],
+        "int8": np.argsort(-int8_table.scores(probe), axis=1)[:, :top_k],
     }
     for label, table in pq_tables.items():
-        variant_ids[label] = np.argsort(-table.scores(probe), axis=1)[:, :TOP_K]
+        variant_ids[label] = np.argsort(-table.scores(probe), axis=1)[:, :top_k]
     variants = {"float32": services.astype(np.float32), "int8": int8_table}
     variants.update(pq_tables)
     return compression_report(
         services.astype(np.float64), variants,
-        exact_ids=exact_ids, variant_ids=variant_ids, k=TOP_K,
+        exact_ids=exact_ids, variant_ids=variant_ids, k=top_k,
     )
+
+
+def build_payload(params, rows, table_rows, by_mode, by_table, seed, smoke):
+    payload = {
+        "workload": dict(params, distribution="zipf(1.1)"),
+        "seed": seed,
+        "smoke": smoke,
+        "results": rows,
+        "service_table_compression": table_rows,
+        "int8_compression_vs_float64": by_table["int8"]["compression_x"],
+        "int8_compression_vs_float32": (by_table["float32"]["bytes"]
+                                        / by_table["int8"]["bytes"]),
+    }
+    if "ivf" in by_mode and "ivfpq_m8" in by_mode:
+        payload["qps_ratio_ivfpq_m8_vs_ivf"] = (by_mode["ivfpq_m8"].qps
+                                                / by_mode["ivf"].qps)
+    return payload
 
 
 def test_quantized_serving(benchmark):
@@ -120,14 +134,13 @@ def test_quantized_serving(benchmark):
         by_mode = {summary.mode: summary for summary in summaries}
     rows = load_test_rows(summaries)
     print("\n" + format_float_table(
-        rows, title=f"Quantized serving: {NUM_REQUESTS} Zipf requests, "
-                    f"{NUM_SERVICES} services, dim {DIM}, K={TOP_K}"
+        rows, title=f"Quantized serving: {FULL['num_requests']} Zipf requests, "
+                    f"{FULL['num_services']} services, dim {FULL['dim']}, "
+                    f"K={FULL['top_k']}"
     ))
 
-    queries, services = clustered_embeddings(
-        NUM_QUERIES, NUM_SERVICES, DIM, num_clusters=16, spread=0.2, seed=0
-    )
-    table_rows = table_compression_rows(queries, services)
+    queries, services, _ = make_workload(FULL, seed=0)
+    table_rows = table_compression_rows(queries, services, top_k=FULL["top_k"])
     print("\n" + format_float_table(
         table_rows, title="Service-table compression (baseline float64, "
                           "full-table scan recall@10)"
@@ -135,23 +148,8 @@ def test_quantized_serving(benchmark):
     by_table = {row["table"]: row for row in table_rows}
 
     RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "workload": {
-            "num_queries": NUM_QUERIES,
-            "num_services": NUM_SERVICES,
-            "dim": DIM,
-            "num_requests": NUM_REQUESTS,
-            "batch_size": BATCH_SIZE,
-            "top_k": TOP_K,
-            "distribution": "zipf(1.1)",
-        },
-        "results": rows,
-        "service_table_compression": table_rows,
-        "qps_ratio_ivfpq_m8_vs_ivf": by_mode["ivfpq_m8"].qps / by_mode["ivf"].qps,
-        "int8_compression_vs_float64": by_table["int8"]["compression_x"],
-        "int8_compression_vs_float32": (by_table["float32"]["bytes"]
-                                        / by_table["int8"]["bytes"]),
-    }
+    payload = build_payload(FULL, rows, table_rows, by_mode, by_table,
+                            seed=0, smoke=False)
     (RESULTS_DIR / "quantized_serving.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
@@ -167,3 +165,45 @@ def test_quantized_serving(benchmark):
     assert by_mode["ivfpq_m8"].qps >= by_mode["ivf"].qps
     assert by_mode["ivfpq_m8"].recall_at_k >= 0.9
     assert by_mode["ivfpq_m16"].recall_at_k >= by_mode["ivfpq_m4"].recall_at_k
+
+
+def main(argv=None):
+    args = parse_bench_args("quantized_serving", __doc__, argv)
+    params = SMOKE if args.smoke else FULL
+    modes = SMOKE_MODES if args.smoke else tuple(MODES)
+    subspaces = (8,) if args.smoke else (4, 8, 16)
+    summaries = run_load_test(params, seed=args.seed, modes=modes)
+    by_mode = {summary.mode: summary for summary in summaries}
+    rows = load_test_rows(summaries)
+    label = "smoke" if args.smoke else "full"
+    print(format_float_table(
+        rows, title=f"Quantized serving ({label}): "
+                    f"{params['num_requests']} Zipf requests, "
+                    f"{params['num_services']} services, K={params['top_k']}"
+    ))
+    queries, services, _ = make_workload(params, seed=args.seed)
+    table_rows = table_compression_rows(queries, services,
+                                        top_k=params["top_k"],
+                                        subspaces=subspaces)
+    print("\n" + format_float_table(
+        table_rows, title="Service-table compression (baseline float64)"
+    ))
+    by_table = {row["table"]: row for row in table_rows}
+    write_json(args.out, build_payload(params, rows, table_rows, by_mode,
+                                       by_table, seed=args.seed,
+                                       smoke=args.smoke))
+    print(f"wrote {args.out}")
+
+    require(by_table["int8"]["compression_x"] >= 4.0,
+            "int8 must compress the fp64 table >= 4x")
+    require(by_mode["int8"].recall_at_k >= 0.95,
+            f"int8 recall {by_mode['int8'].recall_at_k:.3f} < 0.95")
+    require(by_table["pq_m8"]["compression_x"] >= 16.0,
+            "pq_m8 must compress the fp64 table >= 16x")
+    require(by_mode["ivfpq_m8"].recall_at_k >= 0.85,
+            f"IVF-PQ recall {by_mode['ivfpq_m8'].recall_at_k:.3f} < 0.85")
+    print("bench gates passed")
+
+
+if __name__ == "__main__":
+    main()

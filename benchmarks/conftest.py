@@ -9,14 +9,11 @@ EXPERIMENTS.md paper-vs-measured comparison can reference it.
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
 
+from benchmarks.bench_args import RESULTS_DIR
 from repro.eval.reporting import format_float_table
 from repro.experiments.common import ExperimentResult, ExperimentSettings
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Settings shared by every benchmark: the smallest scale that still shows
 #: the paper's qualitative shapes and keeps the whole harness to a few minutes.

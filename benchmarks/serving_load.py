@@ -1,0 +1,53 @@
+"""Shared workload construction + drive loop for the serving benches.
+
+All three serving benches (throughput, quantized, sharded) push the same
+kind of Zipf-skewed request stream through a gateway in micro-batches;
+keeping the workload builder and the drive loop here means a change to the
+driving protocol happens in exactly one place.  Like
+:mod:`benchmarks.bench_args` this module is pytest-free so the script entry
+points work in minimal environments.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serving.gateway import clustered_embeddings, zipf_query_ids
+
+
+def make_workload(params: dict, seed: int):
+    """Seeded ``(queries, services, request stream)`` for one bench scale.
+
+    ``params`` carries ``num_queries`` / ``num_services`` / ``dim`` /
+    ``num_requests``; derived seeds keep the embeddings and the stream
+    independent but reproducible from one ``--seed``.
+    """
+    queries, services = clustered_embeddings(
+        params["num_queries"],
+        params["num_services"],
+        params["dim"],
+        num_clusters=16,
+        spread=0.2,
+        seed=seed,
+    )
+    stream = zipf_query_ids(
+        params["num_queries"],
+        params["num_requests"],
+        exponent=1.1,
+        seed=seed + 1,
+    )
+    return queries, services, stream
+
+
+def drive(gateway, stream, batch_size: int) -> float:
+    """Push the whole stream through in micro-batches; returns wall seconds."""
+    started = time.perf_counter()
+    for offset in range(0, len(stream), batch_size):
+        handles = [
+            gateway.submit(int(query_id))
+            for query_id in stream[offset : offset + batch_size]
+        ]
+        gateway.flush()
+        for handle in handles:
+            handle.result(0)
+    return time.perf_counter() - started

@@ -15,7 +15,11 @@ Mirrors Sec. V-F of the paper (Fig. 9 / Fig. 10 / Fig. 11):
 6. publish *quantized* snapshots (int8 + product-quantized service tables)
    and serve the same load through the IVF-PQ index, reporting the
    memory-vs-recall trade-off that lets one shard hold a far larger
-   catalogue under the same daily-refresh contract.
+   catalogue under the same daily-refresh contract,
+7. scale out: deploy the same model across 4 shard workers behind the
+   scatter/gather gateway (``repro.serving.sharded``) — per-shard top-K
+   lists merge exactly, per-shard telemetry shows the near-uniform load,
+   and a daily refresh hot-swaps every worker through the two-phase flip.
 
 Run with:  python examples/online_serving.py
 """
@@ -157,6 +161,38 @@ def main() -> None:
           "hot-swap atomically with every daily refresh (Sec. V-F / Fig. 9). "
           "benchmarks/bench_quantized_serving.py shows the memory/QPS win at "
           "12k services.")
+
+    print("\n7) Sharded serving: one worker per shard, scatter/gather top-K\n")
+    gateway = deploy_gateway(garcia, index="exact", num_shards=4,
+                             workers="thread", top_k=top_k,
+                             max_batch_size=batch_size, cache_capacity=0)
+    started = time.perf_counter()
+    for offset in range(0, len(stream), batch_size):
+        handles = [gateway.submit(int(query_id))
+                   for query_id in stream[offset:offset + batch_size]]
+        gateway.flush()
+        for handle in handles:
+            handle.result(0)
+    elapsed = time.perf_counter() - started
+    gateway.recall_probe(k=top_k, num_queries=256, seed=1)
+    sharded = summarize_gateway("sharded exact", gateway, elapsed_s=elapsed)
+    print(format_float_table(
+        load_test_rows([sharded]),
+        title=f"Sharded gateway ({gateway.num_shards} shards, "
+              f"{gateway.workers} workers)",
+    ))
+    print("\n" + format_float_table(
+        gateway.telemetry.shard_rows(), title="Per-shard breakdown"))
+    version = gateway.hot_swap_from_model(garcia)
+    print(f"\nExact per-shard scans keep recall@{top_k} = "
+          f"{sharded.recall_at_k:.3f} (the merge preserves single-index "
+          f"results bit for bit), and the daily refresh hot-swapped every "
+          f"worker to v{version} through the two-phase flip — each worker "
+          "prepared the new tables before the version became visible, so no "
+          "request ever saw mixed versions.  At 12k services the sharded "
+          "tier beats the single-process gateway even on one core "
+          "(benchmarks/bench_sharded_serving.py).")
+    gateway.close()
 
 
 if __name__ == "__main__":

@@ -18,9 +18,9 @@ exist as methods on the tensor (``a @ b``, ``a.sum()``) or as free functions in
 :mod:`repro.autograd.functional`.
 """
 
-from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
 from repro.autograd import functional
 from repro.autograd.grad_check import gradient_check, numerical_gradient
+from repro.autograd.tensor import Tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "Tensor",

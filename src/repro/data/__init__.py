@@ -16,19 +16,19 @@ properties the paper depends on:
 * timestamps enabling chronological train/validation/test splits.
 """
 
+from repro.data.amazon import AMAZON_DATASETS, amazon_config
+from repro.data.industrial import INDUSTRIAL_DATASETS, industrial_config
+from repro.data.loaders import BatchLoader, InteractionBatch
 from repro.data.schema import (
-    Query,
-    Service,
+    DatasetStatistics,
     Intention,
     Interaction,
+    Query,
+    Service,
     ServiceSearchDataset,
-    DatasetStatistics,
 )
+from repro.data.splits import DataSplits, HeadTailSplit, chronological_split, head_tail_split
 from repro.data.synthetic import SyntheticConfig, SyntheticDataGenerator, generate_dataset
-from repro.data.industrial import industrial_config, INDUSTRIAL_DATASETS
-from repro.data.amazon import amazon_config, AMAZON_DATASETS
-from repro.data.splits import chronological_split, head_tail_split, DataSplits, HeadTailSplit
-from repro.data.loaders import InteractionBatch, BatchLoader
 
 __all__ = [
     "Query",

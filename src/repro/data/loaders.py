@@ -9,7 +9,7 @@ initialisation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -7,7 +7,7 @@ experiments use CTR and Valid CTR, both simple ratios over impressions.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

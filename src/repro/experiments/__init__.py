@@ -6,28 +6,28 @@ what the paper reports.  The benchmarks in ``benchmarks/`` are thin wrappers
 that execute these drivers and print the resulting tables.
 """
 
-from repro.experiments.common import (
-    ExperimentResult,
-    ExperimentSettings,
-    scenario_for,
-    build_model,
-    train_model,
-    train_and_evaluate,
-    all_dataset_names,
-)
 from repro.experiments import (
-    table1_datasets,
-    table2_graphs,
-    table3_auc,
-    table4_tail_ranking,
+    fig10_online_ab,
+    fig11_case_study,
     fig3_adaptive_encoding,
     fig4_mgcl_ablation,
     fig5_alpha,
     fig6_beta,
     fig7_tree_depth,
     fig8_temperature,
-    fig10_online_ab,
-    fig11_case_study,
+    table1_datasets,
+    table2_graphs,
+    table3_auc,
+    table4_tail_ranking,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    all_dataset_names,
+    build_model,
+    scenario_for,
+    train_and_evaluate,
+    train_model,
 )
 
 __all__ = [

@@ -9,13 +9,13 @@ skeleton so the individual drivers stay focused on what the paper varies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.data.amazon import AMAZON_DATASETS, amazon_config
 from repro.data.industrial import INDUSTRIAL_DATASETS, industrial_config
 from repro.data.synthetic import SyntheticConfig
 from repro.eval.evaluator import EvaluationReport, Evaluator
-from repro.models import KGAT, SGL, GARCIA, LightGCN, SimGCL, WideAndDeep
+from repro.models import GARCIA, KGAT, SGL, LightGCN, SimGCL, WideAndDeep
 from repro.models.base import RankingModel
 from repro.models.garcia.config import GarciaConfig
 from repro.models.garcia.model import build_garcia

@@ -9,12 +9,11 @@ Fig. 8).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.eval.evaluator import Evaluator
 from repro.experiments.common import ExperimentResult, ExperimentSettings, build_model, scenario_for, train_model
 from repro.models.garcia.config import GarciaConfig
-from repro.pipeline import Scenario
 
 
 def sweep_garcia_hyperparameter(

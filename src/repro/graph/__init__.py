@@ -13,10 +13,10 @@ to; GARCIA's intention encoder aggregates it bottom-up and the IGCL loss uses
 level-matched negatives from the same tree (hard) and other trees (easy).
 """
 
-from repro.graph.search_graph import ServiceSearchGraph, GraphStatistics
-from repro.graph.builder import GraphBuilder, GraphBuildConfig
+from repro.graph.builder import GraphBuildConfig, GraphBuilder
 from repro.graph.intention_tree import IntentionForest
-from repro.graph.sampling import dropout_adjacency, dropout_nodes, add_embedding_noise
+from repro.graph.sampling import add_embedding_noise, dropout_adjacency, dropout_nodes
+from repro.graph.search_graph import GraphStatistics, ServiceSearchGraph
 
 __all__ = [
     "ServiceSearchGraph",

@@ -19,7 +19,7 @@ organises in advance for adaptive encoding) are provided as masked copies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

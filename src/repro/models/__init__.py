@@ -1,8 +1,8 @@
 """Models: GARCIA (the paper's contribution) and the five compared baselines."""
 
-from repro.models.base import RankingModel, NodeFeatureEncoder
+from repro.models.base import NodeFeatureEncoder, RankingModel
+from repro.models.baselines import KGAT, SGL, LightGCN, SimGCL, WideAndDeep
 from repro.models.garcia import GARCIA, GarciaConfig
-from repro.models.baselines import WideAndDeep, LightGCN, KGAT, SGL, SimGCL
 
 __all__ = [
     "RankingModel",

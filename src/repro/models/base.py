@@ -23,11 +23,10 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, no_grad
+from repro.data.schema import CORRELATION_ATTRIBUTES
 from repro.graph.search_graph import ServiceSearchGraph
 from repro.nn import Embedding, Linear, Module
-from repro.data.schema import CORRELATION_ATTRIBUTES
 
 
 class NodeFeatureEncoder(Module):

@@ -9,10 +9,10 @@ extended to consume the node and edge attributes of the service-search graph:
 * GNN models with self-supervised learning: SGL and SimGCL.
 """
 
-from repro.models.baselines.wide_deep import WideAndDeep
-from repro.models.baselines.lightgcn import LightGCN
 from repro.models.baselines.kgat import KGAT
+from repro.models.baselines.lightgcn import LightGCN
 from repro.models.baselines.sgl import SGL
 from repro.models.baselines.simgcl import SimGCL
+from repro.models.baselines.wide_deep import WideAndDeep
 
 __all__ = ["WideAndDeep", "LightGCN", "KGAT", "SGL", "SimGCL"]

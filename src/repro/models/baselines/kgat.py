@@ -12,7 +12,7 @@ weighted by relation-aware relevance, unlike LightGCN's uniform weights).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

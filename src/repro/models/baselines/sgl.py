@@ -10,7 +10,6 @@ from explicit relations instead.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 

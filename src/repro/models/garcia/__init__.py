@@ -15,10 +15,10 @@ Sub-modules:
   (Eq. 12–13) objectives.
 """
 
+from repro.models.garcia.anchor_pairs import AnchorPair, mine_anchor_pairs
 from repro.models.garcia.config import GarciaConfig
 from repro.models.garcia.encoder import GarciaGNNLayer, GraphEncoder
 from repro.models.garcia.intention_encoder import IntentionEncoder
-from repro.models.garcia.anchor_pairs import mine_anchor_pairs, AnchorPair
 from repro.models.garcia.model import GARCIA
 
 __all__ = [

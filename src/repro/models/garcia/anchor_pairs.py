@@ -18,9 +18,8 @@ get no anchor and do not contribute to the KTCL query loss.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-import numpy as np
 
 from repro.data.schema import CORRELATION_ATTRIBUTES, ServiceSearchDataset
 from repro.data.splits import HeadTailSplit

@@ -9,7 +9,7 @@ drive the ablations of Fig. 3 and Fig. 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

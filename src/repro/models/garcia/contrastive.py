@@ -17,7 +17,7 @@ and differ only in how anchors, positives and negatives are constructed:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -12,12 +12,12 @@ learning frameworks so that GARCIA and the baseline models read naturally:
 * :mod:`repro.nn.losses` — BCE and InfoNCE loss modules.
 """
 
-from repro.nn.module import Module, Parameter
-from repro.nn.layers import Linear, Embedding, MLP, Dropout, Sequential
-from repro.nn.activations import ReLU, Tanh, Sigmoid, Identity
-from repro.nn.optim import Adam, SGD, Optimizer
-from repro.nn.losses import BCELoss, BCEWithLogitsLoss, InfoNCELoss
 from repro.nn import init
+from repro.nn.activations import Identity, ReLU, Sigmoid, Tanh
+from repro.nn.layers import MLP, Dropout, Embedding, Linear, Sequential
+from repro.nn.losses import BCELoss, BCEWithLogitsLoss, InfoNCELoss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
 
 __all__ = [
     "Module",

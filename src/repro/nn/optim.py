@@ -6,7 +6,7 @@ batch size 1024); SGD is included as a simpler reference used in tests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

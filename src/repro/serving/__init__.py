@@ -14,31 +14,37 @@ The production deployment runs a hybrid offline–online pipeline:
 The high-throughput production variant of step 3 lives in
 :mod:`repro.serving.gateway`: approximate (IVF / LSH) retrieval indexes, a
 versioned embedding store with atomic daily hot-swap, a micro-batching
-request scheduler with an LRU+TTL result cache, and serving telemetry.
+request scheduler with an LRU+TTL result cache, and serving telemetry.  Its
+scale-out deployment lives in :mod:`repro.serving.sharded`: one worker per
+store shard (serial / thread / process backends) behind a scatter/gather
+gateway with exact top-K merging and per-shard telemetry.
 """
 
 from repro.serving.embedding_store import EmbeddingStore
-from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
-from repro.serving.ranking import RankingModule, RankedService
 from repro.serving.feature_extractor import NodeFeatureExtractor, RelationExtractor
-from repro.serving.pipeline import ServingPipeline, deploy_model
 from repro.serving.gateway import (
     ServingGateway,
     VersionedEmbeddingStore,
     deploy_gateway,
 )
+from repro.serving.pipeline import ServingPipeline, deploy_model
+from repro.serving.ranking import RankedService, RankingModule
+from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
+from repro.serving.sharded import ShardedGateway, ShardedRetriever
 
 __all__ = [
     "EmbeddingStore",
     "InnerProductRetriever",
     "ModelScoringRetriever",
-    "RankingModule",
-    "RankedService",
     "NodeFeatureExtractor",
+    "RankedService",
+    "RankingModule",
     "RelationExtractor",
-    "ServingPipeline",
     "ServingGateway",
+    "ServingPipeline",
+    "ShardedGateway",
+    "ShardedRetriever",
     "VersionedEmbeddingStore",
-    "deploy_model",
     "deploy_gateway",
+    "deploy_model",
 ]

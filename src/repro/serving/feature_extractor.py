@@ -9,7 +9,7 @@ so the serving pipeline mirrors the paper's deployment diagram one-to-one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

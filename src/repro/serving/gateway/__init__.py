@@ -50,7 +50,9 @@ from repro.serving.gateway.index import (
 from repro.serving.gateway.scheduler import BatchScheduler, PendingRequest
 from repro.serving.gateway.store import (
     EmbeddingSnapshot,
+    SnapshotListener,
     StaleReadError,
+    StaleVersionError,
     VersionedEmbeddingStore,
 )
 from repro.serving.gateway.telemetry import GatewayTelemetry
@@ -71,7 +73,9 @@ __all__ = [
     "PendingRequest",
     "RetrievalIndex",
     "ServingGateway",
+    "SnapshotListener",
     "StaleReadError",
+    "StaleVersionError",
     "VersionedEmbeddingStore",
     "build_index",
     "clustered_embeddings",

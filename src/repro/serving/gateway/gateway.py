@@ -31,12 +31,26 @@ from repro.eval.serving_metrics import recall_at_k
 from repro.serving.gateway.cache import LRUTTLCache
 from repro.serving.gateway.index import ExactIndex, RetrievalIndex, build_index
 from repro.serving.gateway.scheduler import BatchScheduler, PendingRequest
-from repro.serving.gateway.store import VersionedEmbeddingStore
+from repro.serving.gateway.store import (
+    SnapshotListener,
+    StaleVersionError,
+    VersionedEmbeddingStore,
+)
 from repro.serving.gateway.telemetry import GatewayTelemetry
 
 
-class ServingGateway:
-    """High-throughput request front-end over a versioned embedding store."""
+class ServingGateway(SnapshotListener):
+    """High-throughput request front-end over a versioned embedding store.
+
+    The gateway subscribes to the store as a two-phase
+    :class:`~repro.serving.gateway.store.SnapshotListener`: every publish —
+    whether driven through :meth:`hot_swap` or directly on the store —
+    builds the new version's index *before* the version flip and invalidates
+    the superseded cache entries right after it.  Subclasses (the sharded
+    tier) override :meth:`_search_backend` and the listener hooks to swap
+    the single-process index for a worker pool without touching the
+    request/cache path.
+    """
 
     def __init__(self, store: VersionedEmbeddingStore, index: str = "ivf",
                  index_params: Optional[dict] = None, top_k: int = 10,
@@ -60,11 +74,32 @@ class ServingGateway:
             self._execute_batch, max_batch_size=max_batch_size,
             max_wait_s=max_wait_s, clock=clock,
         )
-        self._index_for(self.store.snapshot())  # build eagerly: first request pays no build
+        self._active_version: Optional[int] = None
+        # Subscribing prepares + activates the current snapshot eagerly, so
+        # the first request never pays an index build.
+        self.store.subscribe(self)
 
     # ------------------------------------------------------------------ #
-    # Index lifecycle
+    # Two-phase snapshot listener (index lifecycle)
     # ------------------------------------------------------------------ #
+    def prepare(self, snapshot) -> None:
+        """Build the new version's search structures before the flip."""
+        self._index_for(snapshot)
+
+    def activate(self, snapshot) -> None:
+        """The flip happened: drop the superseded version's cache entries."""
+        previous = self._active_version
+        self._active_version = snapshot.version
+        if previous is not None and previous != snapshot.version:
+            self.cache.invalidate_version(previous)
+            self.telemetry.record_swap(snapshot.version)
+
+    def retire(self, version: int) -> None:
+        """Aborted publish: drop the index prepared for the dead version."""
+        with self._index_lock:
+            self._indexes.pop(version, None)
+
+
     def _index_for(self, snapshot) -> RetrievalIndex:
         """The index built from exactly this snapshot's service matrix.
 
@@ -91,6 +126,16 @@ class ServingGateway:
                 for stale in sorted(self._indexes)[:-2]:
                     del self._indexes[stale]
             return index
+
+    def _search_backend(self, snapshot, query_matrix: np.ndarray,
+                        k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One vectorised top-k search at exactly ``snapshot``'s version.
+
+        The single-process backend answers from the per-version index; the
+        sharded subclass overrides this with a scatter/gather over its
+        worker pool.
+        """
+        return self._index_for(snapshot).search(query_matrix, k)
 
     # ------------------------------------------------------------------ #
     # Request path
@@ -120,7 +165,27 @@ class ServingGateway:
         return [[int(service_id) for service_id in handle.result()[0]] for handle in handles]
 
     def _execute_batch(self, batch: Sequence[PendingRequest]) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Scheduler executor: cache lookups + one vectorised ANN search.
+        """Scheduler executor with version re-pinning.
+
+        The batch pins one snapshot and is answered entirely at its version.
+        If two hot-swaps complete between the pin and the backend search (the
+        workers then no longer hold the pinned version's tables), the batch
+        re-pins the fresh snapshot and re-executes — still never mixing
+        versions — instead of failing the requests.
+        """
+        last_error: Optional[BaseException] = None
+        for _ in range(3):
+            snapshot = self.store.snapshot(self.max_staleness_s)
+            try:
+                return self._execute_batch_pinned(batch, snapshot)
+            except StaleVersionError as error:
+                last_error = error
+        raise last_error
+
+    def _execute_batch_pinned(
+            self, batch: Sequence[PendingRequest],
+            snapshot) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Cache lookups + one vectorised search, all at ``snapshot``'s version.
 
         Duplicate ``(query_id, k)`` pairs inside the batch are coalesced into
         a single backend search; ``telemetry.backend_queries`` counts the
@@ -128,8 +193,6 @@ class ServingGateway:
         unknown query id or invalid k fails alone (its result is an exception)
         instead of failing the whole batch.
         """
-        snapshot = self.store.snapshot(self.max_staleness_s)
-        index = self._index_for(snapshot)
         resolved: Dict[Tuple[int, int], object] = {}
         hit_keys = set()
         for pending in batch:
@@ -158,7 +221,7 @@ class ServingGateway:
         if misses:
             query_matrix = snapshot.query([query_id for query_id, _ in misses])
             max_k = max(k for _, k in misses)
-            ids, scores = index.search(query_matrix, max_k)
+            ids, scores = self._search_backend(snapshot, query_matrix, max_k)
             for row, (query_id, k) in enumerate(misses):
                 valid = ids[row, :k] >= 0
                 value = (ids[row, :k][valid].copy(), scores[row, :k][valid].copy())
@@ -181,16 +244,13 @@ class ServingGateway:
                  service_embeddings: np.ndarray) -> int:
         """Publish a new embedding version and rebuild the ANN index.
 
-        The store swap is atomic; the cache is keyed by version so no stale
-        result can be served afterwards.  Old-version entries are also
-        dropped eagerly to free memory.
+        The heavy lifting happens through the two-phase listener protocol:
+        :meth:`prepare` builds the new index while the old version still
+        serves, the store flips the reference, and :meth:`activate` drops
+        the superseded cache entries.  The cache is keyed by version anyway,
+        so even an un-invalidated stale entry could never be served.
         """
-        old_version = self.store.version
-        version = self.store.publish(query_embeddings, service_embeddings)
-        self._index_for(self.store.snapshot())
-        self.cache.invalidate_version(old_version)
-        self.telemetry.record_swap(version)
-        return version
+        return self.store.publish(query_embeddings, service_embeddings)
 
     def hot_swap_from_model(self, model) -> int:
         return self.hot_swap(model.query_embeddings(), model.service_embeddings())
@@ -201,13 +261,12 @@ class ServingGateway:
     def recall_probe(self, k: int = 10, num_queries: int = 128, seed: int = 0) -> float:
         """ANN recall@k against the exact scan on a sample of stored queries."""
         snapshot = self.store.snapshot()
-        index = self._index_for(snapshot)
         rng = np.random.default_rng(seed)
         sample_size = min(num_queries, snapshot.num_queries)
         query_ids = rng.choice(snapshot.num_queries, size=sample_size, replace=False)
         query_matrix = snapshot.query(query_ids)
         exact_ids, _ = ExactIndex().build(snapshot.all_services()).search(query_matrix, k)
-        approx_ids, _ = index.search(query_matrix, k)
+        approx_ids, _ = self._search_backend(snapshot, query_matrix, k)
         recall = recall_at_k(approx_ids, exact_ids, k)
         self.telemetry.record_recall(recall, k)
         return recall
@@ -219,22 +278,51 @@ class ServingGateway:
         summary["cache_size"] = float(len(self.cache))
         return summary
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Detach from the store's publish protocol.
+
+        A store can outlive the gateways serving it; without unsubscribing,
+        every future publish would keep building (and retaining) indexes for
+        a gateway nobody queries any more.
+        """
+        self.store.unsubscribe(self)
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def deploy_gateway(model, index: str = "ivf", index_params: Optional[dict] = None,
                    num_shards: int = 1, quantization: Sequence[str] = (),
                    quantization_params: Optional[dict] = None,
-                   **gateway_kwargs) -> ServingGateway:
+                   workers: str = "auto", **gateway_kwargs) -> ServingGateway:
     """Export a trained model's embeddings behind a full serving gateway.
 
     ``quantization`` kinds (``"int8"`` / ``"pq"``) are published with every
     snapshot so compressed service tables hot-swap with the fp arrays, with
     per-kind options in ``quantization_params``; pick ``index="ivfpq"`` /
     ``"int8"`` to also *search* through quantized codes.
+
+    With ``num_shards > 1`` the one-call deployment becomes the sharded
+    tier: a :class:`~repro.serving.sharded.ShardedGateway` runs one
+    :class:`~repro.serving.sharded.ShardWorker` per contiguous store shard
+    behind the same request path, with ``workers`` choosing the execution
+    backend (``"process"`` / ``"thread"`` / ``"serial"`` / ``"auto"``).
     """
     store = VersionedEmbeddingStore.from_model(
         model, num_shards=num_shards, quantization=quantization,
         quantization_params=quantization_params,
     )
+    if num_shards > 1:
+        from repro.serving.sharded import ShardedGateway
+
+        return ShardedGateway(store, index=index, index_params=index_params,
+                              workers=workers, **gateway_kwargs)
     return ServingGateway(store, index=index, index_params=index_params, **gateway_kwargs)
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence
 
 
 class PendingRequest:
@@ -83,6 +83,7 @@ class BatchScheduler:
         self._stop = threading.Event()
         self.batches_dispatched = 0
         self.requests_dispatched = 0
+        self.execute_latencies_s: List[float] = []
 
     # ------------------------------------------------------------------ #
     # Producer side
@@ -114,6 +115,7 @@ class BatchScheduler:
 
     def _run(self, batch: List[PendingRequest]) -> None:
         now = self._clock
+        started = now()
         try:
             results = self.executor(batch)
             if len(results) != len(batch):
@@ -124,6 +126,8 @@ class BatchScheduler:
             completed = now()
             for pending in batch:
                 pending._fail(error, completed)
+            with self._lock:
+                self.execute_latencies_s.append(max(0.0, completed - started))
             return
         completed = now()
         for pending, value in zip(batch, results):
@@ -134,6 +138,33 @@ class BatchScheduler:
         with self._lock:  # _run can race between submit() and the poll thread
             self.batches_dispatched += 1
             self.requests_dispatched += len(batch)
+            self.execute_latencies_s.append(max(0.0, completed - started))
+
+    def stats(self) -> dict:
+        """Dispatch-side counters + executor wall-time percentiles (ms).
+
+        The executor latency is the batch's whole backend execution — for
+        the sharded gateway that is the scatter/gather round trip, which the
+        per-shard telemetry then decomposes shard by shard.
+        """
+        with self._lock:
+            latencies = list(self.execute_latencies_s)
+            batches = self.batches_dispatched
+            requests = self.requests_dispatched
+        if latencies:
+            ordered = sorted(latencies)
+            p50 = ordered[len(ordered) // 2] * 1e3
+            p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))] * 1e3
+            mean = sum(latencies) / len(latencies) * 1e3
+        else:
+            p50 = p95 = mean = float("nan")
+        return {
+            "batches_dispatched": float(batches),
+            "requests_dispatched": float(requests),
+            "mean_execute_ms": mean,
+            "p50_execute_ms": p50,
+            "p95_execute_ms": p95,
+        }
 
     def poll(self) -> int:
         """Dispatch batches whose size or deadline trigger fired; returns #requests."""

@@ -21,7 +21,14 @@ arrays in place on refresh, which a concurrent reader can observe as a
   product-quantized, :mod:`repro.serving.quant`) alongside the fp arrays:
   compressed replicas are built *inside* the snapshot, so they hot-swap
   atomically with the embeddings they mirror and stay row-aligned with the
-  shard layout.
+  shard layout;
+* **two-phase publish**: subscribed :class:`SnapshotListener`\\ s (the
+  gateway's index builder, the sharded tier's worker pool) get
+  ``prepare(snapshot)`` *before* the version flip and ``activate(snapshot)``
+  after it.  Every consumer has the new version's search structures ready
+  by the time any reader can observe the new version, so a query routed at
+  snapshot ``v`` can always be answered entirely at ``v`` — across every
+  shard worker — and no request ever sees a mixed-version pairing.
 
 The store is duck-compatible with the seed ``EmbeddingStore`` (``query`` /
 ``service`` / ``all_services`` / ``refresh`` / ``version``), so the existing
@@ -34,7 +41,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +50,45 @@ from repro.serving.quant import QUANTIZER_KINDS, quantize_table
 
 class StaleReadError(RuntimeError):
     """Raised when the freshest published snapshot exceeds the staleness budget."""
+
+
+class StaleVersionError(LookupError):
+    """A version-pinned search raced two hot-swaps and its tables are gone.
+
+    Workers retain the current version and its predecessor, so this only
+    fires when at least two publishes completed between a batch pinning its
+    snapshot and the scatter reaching a worker.  The gateway's request path
+    treats it as retryable: re-pin the fresh snapshot and re-execute — the
+    batch is then answered entirely at the newer version, never mixed.
+    """
+
+
+class SnapshotListener:
+    """Two-phase hot-swap protocol for snapshot consumers.
+
+    ``prepare(snapshot)`` is called while the *previous* version is still
+    current: build every search structure the new version needs (indexes,
+    shard worker tables) but keep serving the old version.  A raised
+    exception aborts the publish — the store keeps the old version and calls
+    :meth:`retire` for the aborted one on every listener already prepared.
+
+    ``activate(snapshot)`` is called after the store's reference flip: the
+    new version is now the one readers observe, so older versions may be
+    retired (workers keep the immediately preceding one for requests that
+    pinned it mid-flip).
+
+    ``retire(version)`` drops any state held for ``version`` (abort path).
+    """
+
+    def prepare(self, snapshot: "EmbeddingSnapshot") -> None:  # pragma: no cover
+        """Build structures for ``snapshot`` without serving it yet."""
+
+    def activate(self, snapshot: "EmbeddingSnapshot") -> None:  # pragma: no cover
+        """``snapshot`` is now current; retire versions older than its
+        predecessor."""
+
+    def retire(self, version: int) -> None:  # pragma: no cover
+        """Drop any state held for an aborted ``version``."""
 
 
 def _freeze(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
@@ -168,7 +214,30 @@ class VersionedEmbeddingStore:
             )
         self._clock = clock
         self._lock = threading.Lock()
+        self._listeners: List[SnapshotListener] = []
         self._current = self._make_snapshot(query_embeddings, service_embeddings, version)
+
+    # ------------------------------------------------------------------ #
+    # Two-phase snapshot listeners
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: SnapshotListener) -> None:
+        """Register a two-phase hot-swap consumer.
+
+        The listener is immediately prepared + activated for the current
+        snapshot, so subscribing and publishing cannot interleave into a
+        version the listener never built.
+        """
+        with self._lock:
+            current = self._current
+            if listener not in self._listeners:
+                listener.prepare(current)
+                listener.activate(current)
+                self._listeners.append(listener)
+
+    def unsubscribe(self, listener: SnapshotListener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     # ------------------------------------------------------------------ #
     # Publish (atomic hot-swap)
@@ -205,13 +274,31 @@ class VersionedEmbeddingStore:
         single assignment under the lock, so an interleaved
         :meth:`snapshot` returns either the old or the new version in its
         entirety, never a mixed fp/quantized pairing.
+
+        Subscribed listeners run the two-phase flip around that swap: every
+        listener ``prepare``\\ s the new version first (old version still
+        serving everywhere), then the reference flips, then every listener
+        ``activate``\\ s.  If any ``prepare`` fails the publish aborts — the
+        already-prepared listeners ``retire`` the dead version and the old
+        snapshot stays current.
         """
         with self._lock:
             version = self._current.version + 1
             replacement = self._make_snapshot(query_embeddings, service_embeddings, version)
             if replacement.embedding_dim != self._current.embedding_dim:
                 raise ValueError("publish must keep the embedding dimensionality")
+            prepared: List[SnapshotListener] = []
+            try:
+                for listener in self._listeners:
+                    listener.prepare(replacement)
+                    prepared.append(listener)
+            except BaseException:
+                for listener in prepared:
+                    listener.retire(version)
+                raise
             self._current = replacement
+            for listener in self._listeners:
+                listener.activate(replacement)
             return version
 
     def publish_from_model(self, model) -> int:

@@ -5,6 +5,12 @@ hit/miss), one sample per dispatched batch (its size), every hot-swap, and
 the latest ANN recall probe.  :meth:`GatewayTelemetry.summary` condenses
 those into the numbers the bench and the example report: QPS, p50/p95/p99
 latency in milliseconds, cache hit rate, mean batch size and recall@K.
+
+The sharded tier adds a per-shard dimension: every scattered micro-batch
+records one :meth:`GatewayTelemetry.record_shard` sample per worker (shard
+wall time, queries scored, candidates contributed to the gather), and
+:meth:`GatewayTelemetry.shard_rows` condenses them into per-shard
+latency/QPS breakdowns whose totals add up to the gateway-level counters.
 """
 
 from __future__ import annotations
@@ -41,6 +47,10 @@ class GatewayTelemetry:
         self.last_swap_version: Optional[int] = None
         self.recall_at_k: Optional[float] = None
         self.recall_k: Optional[int] = None
+        self.shard_latencies_s: Dict[int, List[float]] = {}
+        self.shard_queries: Dict[int, int] = {}
+        self.shard_candidates: Dict[int, int] = {}
+        self.gathered_candidates = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -72,6 +82,24 @@ class GatewayTelemetry:
             self.recall_at_k = float(recall)
             self.recall_k = int(k)
 
+    def record_shard(self, shard: int, latency_s: float, queries: int,
+                     candidates: int) -> None:
+        """One shard's share of one scattered micro-batch.
+
+        ``queries`` is how many backend queries the shard scored (every
+        shard scores the whole de-duplicated batch) and ``candidates`` how
+        many real top-K entries it contributed to the gather, so summing
+        either across shards reproduces the gateway-level totals.
+        """
+        shard = int(shard)
+        with self._lock:
+            self.shard_latencies_s.setdefault(shard, []).append(float(latency_s))
+            self.shard_queries[shard] = self.shard_queries.get(shard, 0) + int(queries)
+            self.shard_candidates[shard] = (
+                self.shard_candidates.get(shard, 0) + int(candidates)
+            )
+            self.gathered_candidates += int(candidates)
+
     # ------------------------------------------------------------------ #
     # Aggregation
     # ------------------------------------------------------------------ #
@@ -99,6 +127,37 @@ class GatewayTelemetry:
             return float("nan")
         return float(np.percentile(np.asarray(self.latencies_s), percentile) * 1e3)
 
+    @property
+    def num_shards(self) -> int:
+        """Shards that recorded at least one scatter sample (0 = unsharded)."""
+        return len(self.shard_latencies_s)
+
+    def shard_rows(self) -> List[Dict[str, float]]:
+        """Per-shard latency/QPS breakdown rows (one dict per shard).
+
+        ``busy_s`` is the shard's summed scan wall time; ``qps`` relates the
+        queries it scored to that busy time, so near-uniform shard layouts
+        (the balanced IVF-PQ cells) show up as near-uniform rows.
+        """
+        with self._lock:
+            shards = sorted(self.shard_latencies_s)
+            rows = []
+            for shard in shards:
+                latencies = np.asarray(self.shard_latencies_s[shard])
+                busy_s = float(latencies.sum())
+                queries = self.shard_queries.get(shard, 0)
+                rows.append({
+                    "shard": float(shard),
+                    "batches": float(latencies.size),
+                    "queries": float(queries),
+                    "candidates": float(self.shard_candidates.get(shard, 0)),
+                    "busy_s": busy_s,
+                    "qps": queries / busy_s if busy_s > 0 else 0.0,
+                    "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+                    "p95_ms": float(np.percentile(latencies, 95) * 1e3),
+                })
+            return rows
+
     def summary(self) -> Dict[str, float]:
         """One flat dict of the headline serving metrics."""
         mean_batch = float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
@@ -113,4 +172,5 @@ class GatewayTelemetry:
             "backend_queries": float(self.backend_queries),
             "hot_swaps": float(self.swaps),
             "recall_at_k": float("nan") if self.recall_at_k is None else self.recall_at_k,
+            "gathered_candidates": float(self.gathered_candidates),
         }

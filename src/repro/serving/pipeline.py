@@ -25,11 +25,19 @@ Three scoring modes are supported:
   exactly (4x smaller than float32, recall ~1), ``"ivfpq"`` probes coarse
   IVF cells and scores product-quantized residual codes with ADC lookup
   tables.  Sugar for ``scoring="ann"`` with the matching index kind.
+* ``"sharded"`` — the scatter/gather tier
+  (:mod:`repro.serving.sharded`): the catalogue is split into
+  ``num_shards`` contiguous ranges, each with its own per-shard index
+  (``ann_index`` names the kind; pick ``"exact"`` for bit-exact parity
+  with the single-index ranking), and per-shard top-K lists are merged
+  exactly.  For the full multi-process deployment (worker pool, two-phase
+  hot-swap, per-shard telemetry) use
+  :func:`repro.serving.gateway.deploy_gateway` with ``num_shards > 1``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.data.schema import ServiceSearchDataset
 from repro.serving.embedding_store import EmbeddingStore
@@ -43,8 +51,9 @@ class ServingPipeline:
     def __init__(self, store: EmbeddingStore, dataset: Optional[ServiceSearchDataset] = None,
                  top_k: int = 5, normalize: bool = False, model=None,
                  scoring: str = "inner_product", ann_index: str = "ivf",
-                 ann_index_params: Optional[dict] = None) -> None:
-        if scoring not in ("inner_product", "model", "ann", "ivfpq", "int8"):
+                 ann_index_params: Optional[dict] = None,
+                 num_shards: int = 4) -> None:
+        if scoring not in ("inner_product", "model", "ann", "ivfpq", "int8", "sharded"):
             raise ValueError(f"unknown scoring mode {scoring!r}")
         if scoring == "model" and model is None:
             raise ValueError("scoring='model' requires the trained model")
@@ -52,6 +61,12 @@ class ServingPipeline:
         self.scoring = scoring
         if scoring == "model":
             self.retriever = ModelScoringRetriever(model, store.num_services)
+        elif scoring == "sharded":
+            from repro.serving.sharded import ShardedRetriever
+
+            self.retriever = ShardedRetriever(store, num_shards=num_shards,
+                                              index=ann_index,
+                                              index_params=ann_index_params)
         elif scoring in ("ann", "ivfpq", "int8"):
             from repro.serving.gateway import IndexRetriever
 
@@ -80,9 +95,10 @@ class ServingPipeline:
 def deploy_model(model, dataset: Optional[ServiceSearchDataset] = None,
                  top_k: int = 5, normalize: bool = False,
                  scoring: str = "model", ann_index: str = "ivf",
-                 ann_index_params: Optional[dict] = None) -> ServingPipeline:
+                 ann_index_params: Optional[dict] = None,
+                 num_shards: int = 4) -> ServingPipeline:
     """Export a trained model's embeddings and wrap them in a serving pipeline."""
     store = EmbeddingStore.from_model(model)
     return ServingPipeline(store, dataset=dataset, top_k=top_k, normalize=normalize,
                            model=model, scoring=scoring, ann_index=ann_index,
-                           ann_index_params=ann_index_params)
+                           ann_index_params=ann_index_params, num_shards=num_shards)

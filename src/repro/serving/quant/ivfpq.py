@@ -103,13 +103,8 @@ class Int8Index(RetrievalIndex):
             raise RuntimeError("index not built")
         queries = self._check_queries(queries, k)
         scores = self._table.scores(queries, chunk=self.chunk)
-        batch = queries.shape[0]
         all_ids = np.arange(self._table.num_vectors, dtype=np.int64)
-        out_ids = np.empty((batch, k), dtype=np.int64)
-        out_scores = np.empty((batch, k))
-        for row in range(batch):
-            out_ids[row], out_scores[row] = self._top_k(all_ids, scores[row], k)
-        return out_ids, out_scores
+        return self._batched_top_k(all_ids, scores, k)
 
 
 class IVFPQIndex(RetrievalIndex):

@@ -1,0 +1,60 @@
+"""Sharded multi-process serving tier (the ROADMAP's scale-out item).
+
+The :class:`~repro.serving.gateway.store.VersionedEmbeddingStore` already
+lays service embeddings — and their quantized replicas — out in contiguous,
+row-aligned shards.  This package puts one worker per shard behind the
+gateway:
+
+* :mod:`~repro.serving.sharded.worker` — :class:`ShardWorker`: one shard's
+  fp/int8/PQ tables plus a per-shard retrieval index of any registered kind,
+  versioned for the two-phase hot-swap;
+* :mod:`~repro.serving.sharded.merge` — :func:`merge_top_k`: exact
+  vectorised k-way merging of per-shard top-K candidate lists, preserving
+  single-process results bit for bit for exact scoring backends;
+* :mod:`~repro.serving.sharded.pool` — serial / thread / process execution
+  backends behind one :class:`WorkerPool` surface; the process backend
+  hands tables off through shared memory and the in-process backends are
+  bit-identical to it, which is what keeps tests and CI deterministic;
+* :mod:`~repro.serving.sharded.gateway` — :class:`ShardedGateway`: the
+  PR-1 request path (micro-batching, caching, telemetry, staleness) with a
+  scatter/gather backend and per-shard telemetry breakdowns;
+* :mod:`~repro.serving.sharded.retriever` — :class:`ShardedRetriever`: the
+  light in-process variant behind ``ServingPipeline(scoring="sharded")``.
+
+``deploy_gateway(model, num_shards=4)`` is the one-call entry point: it
+builds the sharded store, subscribes the worker pool to the store's
+two-phase publish protocol, and returns a gateway whose every search is
+pinned to one snapshot version across all shards.
+"""
+
+from repro.serving.sharded.gateway import ShardedGateway
+from repro.serving.sharded.merge import merge_top_k, shard_candidate_counts
+from repro.serving.sharded.pool import (
+    WORKER_KINDS,
+    ProcessPool,
+    SerialPool,
+    ShardReply,
+    ThreadPool,
+    WorkerPool,
+    make_pool,
+    resolve_workers,
+)
+from repro.serving.sharded.retriever import ShardedRetriever
+from repro.serving.sharded.worker import ShardVersion, ShardWorker
+
+__all__ = [
+    "ProcessPool",
+    "SerialPool",
+    "ShardReply",
+    "ShardVersion",
+    "ShardWorker",
+    "ShardedGateway",
+    "ShardedRetriever",
+    "ThreadPool",
+    "WORKER_KINDS",
+    "WorkerPool",
+    "make_pool",
+    "merge_top_k",
+    "resolve_workers",
+    "shard_candidate_counts",
+]

@@ -1,0 +1,133 @@
+"""The sharded serving gateway: scatter/gather top-K over a worker pool.
+
+:class:`ShardedGateway` is the multi-worker deployment of the PR-1 gateway:
+the same micro-batching scheduler, result cache, staleness contract and
+telemetry, but the backend search scatters every de-duplicated micro-batch
+to one :class:`~repro.serving.sharded.worker.ShardWorker` per contiguous
+store shard, gathers the per-shard top-K candidate lists and merges them
+exactly (:func:`~repro.serving.sharded.merge.merge_top_k`).  For exact
+scoring backends (``exact`` / ``int8``) the merged result is bit-identical
+to the single-process gateway's; for the ANN kinds each shard builds its own
+index over its rows, and recall stays governed by the same per-shard
+probe/refine knobs.
+
+Hot-swaps ride the store's two-phase listener protocol: a publish prepares
+the new version on every worker *before* the store's reference flip, and
+every search is pinned to the snapshot version the batch observed — the pool
+echoes the version each shard actually served, and a mismatch fails the
+batch loudly rather than blending table generations.  Per-shard latency,
+query and gather-width breakdowns land in
+:meth:`~repro.serving.gateway.telemetry.GatewayTelemetry.shard_rows`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.gateway.gateway import ServingGateway
+from repro.serving.gateway.store import VersionedEmbeddingStore
+from repro.serving.sharded.merge import merge_top_k
+from repro.serving.sharded.pool import make_pool, resolve_workers
+
+
+class ShardedGateway(ServingGateway):
+    """Scatter/gather request front-end over one worker per store shard."""
+
+    def __init__(
+        self,
+        store: VersionedEmbeddingStore,
+        index: str = "ivf",
+        index_params: Optional[dict] = None,
+        workers: str = "auto",
+        search_timeout_s: float = 60.0,
+        **gateway_kwargs,
+    ) -> None:
+        snapshot = store.snapshot()
+        if snapshot.num_shards < 2:
+            raise ValueError(
+                "ShardedGateway needs a store with at least 2 shards; "
+                "use ServingGateway (or deploy_gateway(num_shards=1)) instead"
+            )
+        self.workers = resolve_workers(workers)
+        self.pool = make_pool(
+            self.workers,
+            snapshot.num_shards,
+            index=index,
+            index_params=index_params,
+            timeout_s=search_timeout_s,
+        )
+        try:
+            super().__init__(
+                store, index=index, index_params=index_params, **gateway_kwargs
+            )
+        except BaseException:
+            self.pool.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Two-phase snapshot listener: delegate the table lifecycle to the pool
+    # ------------------------------------------------------------------ #
+    def prepare(self, snapshot) -> None:
+        """Every worker builds the new version before the store flips."""
+        self.pool.prepare(snapshot)
+
+    def activate(self, snapshot) -> None:
+        """Flip happened: workers retire stale versions, cache invalidates."""
+        self.pool.activate(snapshot)
+        super().activate(snapshot)
+
+    def retire(self, version: int) -> None:
+        """Aborted publish: drop the dead version on every worker."""
+        self.pool.retire(version)
+
+    # ------------------------------------------------------------------ #
+    # Scatter/gather backend search
+    # ------------------------------------------------------------------ #
+    def _search_backend(
+        self, snapshot, query_matrix: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scatter the batch to all shards, gather, exact-merge the top-K.
+
+        Each reply carries the version the shard actually served; anything
+        other than exactly the pinned snapshot version on every shard is a
+        consistency violation and fails the batch.
+        """
+        replies = self.pool.search(snapshot.version, query_matrix, k)
+        served = {reply.version for reply in replies}
+        if served != {snapshot.version}:
+            raise RuntimeError(
+                f"mixed-version gather: pinned v{snapshot.version}, "
+                f"shards served {sorted(served)}"
+            )
+        num_queries = query_matrix.shape[0]
+        for reply in replies:
+            self.telemetry.record_shard(
+                reply.shard,
+                reply.latency_s,
+                queries=num_queries,
+                candidates=int((reply.ids >= 0).sum()),
+            )
+        return merge_top_k(
+            [reply.ids for reply in replies],
+            [reply.scores for reply in replies],
+            k,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.pool.num_shards
+
+    def summary(self) -> Dict[str, float]:
+        summary = super().summary()
+        summary["num_shards"] = float(self.num_shards)
+        return summary
+
+    def close(self) -> None:
+        """Unsubscribe from the store and shut the worker pool down."""
+        super().close()
+        self.pool.close()

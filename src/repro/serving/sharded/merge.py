@@ -1,0 +1,76 @@
+"""Exact scatter/gather top-K merging for the sharded serving tier.
+
+Every shard worker answers a micro-batch with its local top-``k`` candidate
+lists (global service ids, scores sorted descending).  Because each shard's
+list is already sorted, only its first ``k`` entries can ever reach the
+merged top-``k`` — the classic k-way heap-merge argument — so gathering
+``num_shards * k`` candidates per query and selecting the best ``k`` of them
+reproduces the single-index result *exactly*.  :func:`merge_top_k` is the
+vectorised equivalent of that heap merge: one batched lexicographic sort over
+the gathered block instead of a per-query python heap.
+
+Tie-breaking matches the single-process indexes bit for bit: the gateway's
+:meth:`~repro.serving.gateway.index.RetrievalIndex._top_k` breaks equal
+scores stably by candidate position, and positions are ascending global ids,
+so the merge orders by ``(score descending, id ascending)``.  Padding follows
+the same ``(-1, -inf)`` convention as every
+:class:`~repro.serving.gateway.index.RetrievalIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Sort key used for padded slots so they order after every real candidate.
+_PAD_ID = np.iinfo(np.int64).max
+
+
+def merge_top_k(
+    shard_ids: Sequence[np.ndarray],
+    shard_scores: Sequence[np.ndarray],
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard top-K lists into the exact global top-``k``.
+
+    ``shard_ids`` / ``shard_scores`` hold one ``(batch, k_i)`` array per
+    shard, with *global* service ids and ``(-1, -inf)`` padding.  Returns
+    ``(ids, scores)`` of shape ``(batch, k)`` — identical to what a single
+    index over the concatenated shards would return for exact scoring
+    backends, score-descending with ties broken by ascending id.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not shard_ids or len(shard_ids) != len(shard_scores):
+        raise ValueError("need one (ids, scores) pair per shard")
+    ids = np.concatenate(
+        [np.asarray(block, dtype=np.int64) for block in shard_ids], axis=1
+    )
+    scores = np.concatenate(
+        [np.asarray(block, dtype=np.float64) for block in shard_scores], axis=1
+    )
+    if ids.shape != scores.shape:
+        raise ValueError("ids and scores must share their shape")
+    batch, gathered = ids.shape
+    # Padded slots sort last: their score is -inf and their id key is pushed
+    # past every real id (a raw -1 would win -inf ties against real ids).
+    sort_ids = np.where(ids < 0, _PAD_ID, ids)
+    order = np.lexsort((sort_ids, -scores), axis=-1)[:, : min(k, gathered)]
+    top_ids = np.take_along_axis(ids, order, axis=1)
+    top_scores = np.take_along_axis(scores, order, axis=1)
+    if top_ids.shape[1] < k:
+        pad = k - top_ids.shape[1]
+        top_ids = np.pad(top_ids, ((0, 0), (0, pad)), constant_values=-1)
+        top_scores = np.pad(top_scores, ((0, 0), (0, pad)), constant_values=-np.inf)
+    top_scores = np.where(top_ids >= 0, top_scores, -np.inf)
+    return top_ids, top_scores
+
+
+def shard_candidate_counts(shard_ids: Sequence[np.ndarray]) -> List[int]:
+    """Real (non-padding) candidates gathered from each shard.
+
+    The per-shard counts feed the gateway's scatter/gather telemetry; their
+    sum is the total gather width the merge had to rank.
+    """
+    return [int((np.asarray(block) >= 0).sum()) for block in shard_ids]

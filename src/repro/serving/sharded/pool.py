@@ -1,0 +1,474 @@
+"""Worker-pool backends for the sharded gateway: serial, thread, process.
+
+All three backends drive the same :class:`~repro.serving.sharded.worker.
+ShardWorker` logic and the same two-phase version protocol, so their search
+results are bit-identical for a given snapshot — which is what lets the test
+suite pin the deterministic in-process backends while production deployments
+run one OS process per shard:
+
+* :class:`SerialPool` — shard searches run in a loop on the calling thread.
+  Zero concurrency, zero overhead; the reference backend for tests/CI.
+* :class:`ThreadPool` — one pool thread per shard.  numpy releases the GIL
+  inside the BLAS scans, so shard scans overlap on multi-core hosts without
+  any serialization cost.
+* :class:`ProcessPool` — one OS process per shard, the production layout.
+  Table handoff goes through :mod:`multiprocessing.shared_memory`: the
+  parent exports the snapshot's fp table (and published int8 codes/scales)
+  into shared segments, each worker copies out exactly its row slice while
+  *preparing* the version, and the segments are unlinked as soon as every
+  worker acked — queries and top-K replies are the only per-request pipe
+  traffic.  Workers answer at explicit versions, so the two-phase flip
+  holds across process boundaries exactly as it does in-process.
+
+:func:`make_pool` resolves a backend name (``"serial"`` / ``"thread"`` /
+``"process"`` / ``"auto"``) into a pool; ``"auto"`` picks processes when the
+host actually has more than one CPU and threads otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.gateway.store import StaleVersionError
+from repro.serving.quant.scalar import Int8Table
+from repro.serving.sharded.worker import ShardWorker
+
+WORKER_KINDS = ("serial", "thread", "process", "auto")
+
+
+@dataclass(frozen=True)
+class ShardReply:
+    """One shard's answer to a scattered micro-batch."""
+
+    shard: int
+    ids: np.ndarray
+    scores: np.ndarray
+    version: int
+    latency_s: float
+
+
+def resolve_workers(kind: str) -> str:
+    """Resolve a worker-backend name, mapping ``"auto"`` to the host."""
+    if kind not in WORKER_KINDS:
+        known = ", ".join(WORKER_KINDS)
+        raise ValueError(f"unknown worker backend {kind!r} (known: {known})")
+    if kind == "auto":
+        return "process" if (os.cpu_count() or 1) > 1 else "thread"
+    return kind
+
+
+def make_pool(
+    kind: str,
+    num_shards: int,
+    index: str = "exact",
+    index_params: Optional[dict] = None,
+    timeout_s: float = 60.0,
+) -> "WorkerPool":
+    """Build the worker pool for one backend kind."""
+    kind = resolve_workers(kind)
+    if kind == "serial":
+        return SerialPool(num_shards, index=index, index_params=index_params)
+    if kind == "thread":
+        return ThreadPool(num_shards, index=index, index_params=index_params)
+    return ProcessPool(
+        num_shards, index=index, index_params=index_params, timeout_s=timeout_s
+    )
+
+
+class WorkerPool:
+    """Common surface of the three backends (two-phase flip + scatter)."""
+
+    kind = "base"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+
+    def prepare(self, snapshot) -> None:
+        raise NotImplementedError
+
+    def activate(self, snapshot) -> None:
+        raise NotImplementedError
+
+    def retire(self, version: int) -> None:
+        raise NotImplementedError
+
+    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every worker resource; idempotent."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_snapshot(self, snapshot) -> None:
+        if snapshot.num_shards != self.num_shards:
+            raise ValueError(
+                f"snapshot has {snapshot.num_shards} shards but the pool owns "
+                f"{self.num_shards} workers; republish with a matching layout"
+            )
+
+
+class SerialPool(WorkerPool):
+    """In-process reference backend: shard searches run back to back."""
+
+    kind = "serial"
+
+    def __init__(
+        self,
+        num_shards: int,
+        index: str = "exact",
+        index_params: Optional[dict] = None,
+    ) -> None:
+        super().__init__(num_shards)
+        self.workers = [
+            ShardWorker(shard, index=index, index_params=index_params)
+            for shard in range(num_shards)
+        ]
+
+    def prepare(self, snapshot) -> None:
+        self._check_snapshot(snapshot)
+        for worker in self.workers:
+            worker.prepare_snapshot(snapshot)
+
+    def activate(self, snapshot) -> None:
+        for worker in self.workers:
+            worker.activate(snapshot.version)
+
+    def retire(self, version: int) -> None:
+        for worker in self.workers:
+            worker.retire(version)
+
+    def _one(
+        self, worker: ShardWorker, version: int, queries: np.ndarray, k: int
+    ) -> ShardReply:
+        started = time.perf_counter()
+        ids, scores = worker.search(version, queries, k)
+        return ShardReply(
+            shard=worker.shard,
+            ids=ids,
+            scores=scores,
+            version=version,
+            latency_s=time.perf_counter() - started,
+        )
+
+    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
+        return [self._one(worker, version, queries, k) for worker in self.workers]
+
+
+class ThreadPool(SerialPool):
+    """One pool thread per shard; BLAS scans overlap on multi-core hosts."""
+
+    kind = "thread"
+
+    def __init__(
+        self,
+        num_shards: int,
+        index: str = "exact",
+        index_params: Optional[dict] = None,
+    ) -> None:
+        super().__init__(num_shards, index=index, index_params=index_params)
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="shard-worker"
+        )
+
+    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
+        futures = [
+            self._executor.submit(self._one, worker, version, queries, k)
+            for worker in self.workers
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+# --------------------------------------------------------------------- #
+# Process backend: one OS process per shard, shared-memory table handoff
+# --------------------------------------------------------------------- #
+def _export_array(array: np.ndarray) -> Tuple[dict, shared_memory.SharedMemory]:
+    """Copy one array into a fresh shared-memory segment; returns its meta."""
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    meta = {"name": segment.name, "shape": array.shape, "dtype": str(array.dtype)}
+    return meta, segment
+
+
+def _read_shm_rows(meta: dict, lo: int, hi: Optional[int]) -> np.ndarray:
+    """Attach one exported segment and copy out the ``[lo, hi)`` row slice.
+
+    The parent owns (and unlinks) the segment; the attaching side must not
+    let its resource tracker adopt it, or every worker exit reports a bogus
+    leak.  Python 3.13 grew ``track=False`` for exactly this; older minors
+    need the explicit unregister.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=meta["name"], track=False)
+        tracked = False
+    except TypeError:  # Python < 3.13: no track parameter
+        segment = shared_memory.SharedMemory(name=meta["name"])
+        tracked = True
+    try:
+        view = np.ndarray(
+            tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=segment.buf
+        )
+        rows = view[lo:hi].copy() if view.ndim > 1 else view.copy()
+    finally:
+        segment.close()
+        if tracked:
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+    return rows
+
+
+def _shard_worker_main(  # pragma: no cover - runs in a child process
+    conn, shard: int, index: str, index_params: dict
+) -> None:
+    """Child-process loop: prepare/activate/search/retire/stop over a pipe.
+
+    Every received command gets exactly one reply, so the parent can always
+    pair its sends and receives; errors are shipped back as strings instead
+    of killing the worker.
+    """
+    worker = ShardWorker(shard, index=index, index_params=index_params)
+    while True:
+        message = conn.recv()
+        op = message[0]
+        try:
+            if op == "prepare":
+                _, version, lo, hi, metas = message
+                services = _read_shm_rows(metas["services"], lo, hi)
+                int8_table = None
+                if "int8_codes" in metas:
+                    int8_table = Int8Table(
+                        codes=_read_shm_rows(metas["int8_codes"], lo, hi),
+                        scales=_read_shm_rows(metas["int8_scales"], 0, None),
+                    )
+                worker.prepare(version, services, lo, int8_table=int8_table)
+                conn.send(("ready", version))
+            elif op == "activate":
+                worker.activate(message[1])
+                conn.send(("ok",))
+            elif op == "retire":
+                worker.retire(message[1])
+                conn.send(("ok",))
+            elif op == "search":
+                _, version, k, queries = message
+                started = time.perf_counter()
+                ids, scores = worker.search(version, queries, k)
+                latency_s = time.perf_counter() - started
+                conn.send(("result", ids, scores, version, latency_s))
+            elif op == "stop":
+                conn.send(("ok",))
+                return
+            else:
+                conn.send(("error", f"unknown op {op!r}"))
+        except StaleVersionError as error:
+            conn.send(("stale", str(error)))
+        except BaseException as error:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+
+
+class ProcessPool(WorkerPool):
+    """One worker process per shard with shared-memory snapshot handoff."""
+
+    kind = "process"
+
+    def __init__(
+        self,
+        num_shards: int,
+        index: str = "exact",
+        index_params: Optional[dict] = None,
+        timeout_s: float = 60.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(num_shards)
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = timeout_s
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self._conns = []
+        self._processes = []
+        self._closed = False
+        # The pipes carry strictly paired command/reply cycles; concurrent
+        # callers (producer threads dispatching full batches, the publisher
+        # preparing a hot-swap) must not interleave their sends and recvs.
+        self._io_lock = threading.Lock()
+        try:
+            for shard in range(num_shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, shard, index, dict(index_params or {})),
+                    name=f"shard-worker-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Pipe plumbing
+    # ------------------------------------------------------------------ #
+    def _recv_raw(self, shard: int):
+        """One raw reply from one worker (timeout desyncs the pipe: fatal)."""
+        conn = self._conns[shard]
+        if not conn.poll(self.timeout_s):
+            raise RuntimeError(
+                f"shard worker {shard} did not reply within {self.timeout_s:.1f}s"
+            )
+        return conn.recv()
+
+    @staticmethod
+    def _checked(shard: int, reply):
+        """Translate a worker's error replies; pass healthy ones through."""
+        if reply[0] == "stale":
+            raise StaleVersionError(reply[1])
+        if reply[0] == "error":
+            raise RuntimeError(f"shard worker {shard} failed: {reply[1]}")
+        return reply
+
+    def _recv_all(self) -> List[tuple]:
+        """Drain one reply per worker BEFORE raising, keeping pipes paired.
+
+        Raising on the first bad reply would leave the later workers' replies
+        queued and desynchronise every subsequent command; instead the first
+        failure is re-raised only after every worker answered.
+        """
+        replies = [self._recv_raw(shard) for shard in range(self.num_shards)]
+        return [self._checked(shard, reply) for shard, reply in enumerate(replies)]
+
+    def _broadcast(self, message, expect: str) -> List[tuple]:
+        with self._io_lock:
+            for conn in self._conns:
+                conn.send(message)
+            replies = self._recv_all()
+        for shard, reply in enumerate(replies):
+            if reply[0] != expect:
+                raise RuntimeError(
+                    f"shard worker {shard} replied {reply[0]!r}, expected {expect!r}"
+                )
+        return replies
+
+    # ------------------------------------------------------------------ #
+    # Two-phase flip
+    # ------------------------------------------------------------------ #
+    def prepare(self, snapshot) -> None:
+        """Export the snapshot to shared memory; every worker copies its rows.
+
+        The segments live only for the duration of the handoff: once all
+        workers acked ``ready`` they own private copies of their slices and
+        the parent unlinks the shared segments immediately.
+        """
+        self._check_snapshot(snapshot)
+        segments: List[shared_memory.SharedMemory] = []
+        try:
+            meta, segment = _export_array(snapshot.services)
+            metas = {"services": meta}
+            segments.append(segment)
+            int8_table = getattr(snapshot, "quantized", {}).get("int8")
+            if int8_table is not None:
+                meta, segment = _export_array(int8_table.codes)
+                metas["int8_codes"] = meta
+                segments.append(segment)
+                meta, segment = _export_array(int8_table.scales)
+                metas["int8_scales"] = meta
+                segments.append(segment)
+            with self._io_lock:
+                for shard, conn in enumerate(self._conns):
+                    lo = int(snapshot.shard_bounds[shard])
+                    hi = int(snapshot.shard_bounds[shard + 1])
+                    conn.send(("prepare", snapshot.version, lo, hi, metas))
+                replies = self._recv_all()
+            for shard, reply in enumerate(replies):
+                if reply != ("ready", snapshot.version):
+                    raise RuntimeError(
+                        f"shard worker {shard} failed to prepare "
+                        f"version {snapshot.version}: {reply!r}"
+                    )
+        finally:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+
+    def activate(self, snapshot) -> None:
+        self._broadcast(("activate", snapshot.version), expect="ok")
+
+    def retire(self, version: int) -> None:
+        self._broadcast(("retire", version), expect="ok")
+
+    # ------------------------------------------------------------------ #
+    # Scatter/gather
+    # ------------------------------------------------------------------ #
+    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
+        queries = np.ascontiguousarray(queries)
+        with self._io_lock:
+            for conn in self._conns:
+                conn.send(("search", version, int(k), queries))
+            raw_replies = self._recv_all()
+        replies = []
+        for shard, reply in enumerate(raw_replies):
+            tag, ids, scores, served_version, latency_s = reply
+            if tag != "result":
+                raise RuntimeError(f"shard worker {shard} replied {tag!r}")
+            replies.append(
+                ShardReply(
+                    shard=shard,
+                    ids=ids,
+                    scores=scores,
+                    version=served_version,
+                    latency_s=latency_s,
+                )
+            )
+        return replies
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        with self._io_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for conn in self._conns:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for process, conn in zip(self._processes, self._conns):
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+                conn.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass

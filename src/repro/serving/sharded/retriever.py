@@ -1,0 +1,96 @@
+"""Sharded retriever speaking the seed ``retrieve()`` protocol.
+
+:class:`ShardedRetriever` is the light-weight, in-process face of the
+sharded tier: it partitions the store's service table into the same
+contiguous ranges a :class:`~repro.serving.gateway.store.
+VersionedEmbeddingStore` would ship to shard workers, builds one per-shard
+:class:`~repro.serving.sharded.worker.ShardWorker`, and answers
+``retrieve(query_id, k, candidate_ids)`` by scatter/gather + exact merge —
+so :class:`~repro.serving.pipeline.ServingPipeline` gains
+``scoring="sharded"`` without dragging in the scheduler/cache machinery.
+Candidate-restricted calls fall back to an exact scan over the subset (the
+restriction already bounds the cost), mirroring
+:class:`~repro.serving.gateway.gateway.IndexRetriever`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.sharded.merge import merge_top_k
+from repro.serving.sharded.worker import ShardWorker
+
+
+class ShardedRetriever:
+    """Scatter/gather retrieval behind the seed retriever protocol."""
+
+    def __init__(
+        self,
+        store,
+        num_shards: int = 4,
+        index: str = "exact",
+        index_params: Optional[dict] = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.store = store
+        self.num_shards = num_shards
+        self.index_kind = index
+        self.index_params = dict(index_params or {})
+        self._workers: Optional[List[ShardWorker]] = None
+        self._version: Optional[int] = None
+
+    def _current_workers(self) -> List[ShardWorker]:
+        """Per-shard workers for the store's current version (rebuilt on refresh)."""
+        version = int(getattr(self.store, "version", 0))
+        if self._workers is None or self._version != version:
+            services = np.asarray(self.store.all_services())
+            shards = min(self.num_shards, max(1, services.shape[0]))
+            bounds = [
+                int(b) for b in np.linspace(0, services.shape[0], shards + 1).round()
+            ]
+            workers = []
+            for shard in range(shards):
+                lo, hi = bounds[shard], bounds[shard + 1]
+                worker = ShardWorker(
+                    shard, index=self.index_kind, index_params=self.index_params
+                )
+                worker.prepare(version, services[lo:hi], lo)
+                worker.activate(version)
+                workers.append(worker)
+            self._workers = workers
+            self._version = version
+        return self._workers
+
+    def retrieve(
+        self,
+        query_id: int,
+        k: int,
+        candidate_ids: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query_embedding = self.store.query([query_id])[0]
+        if candidate_ids is not None:
+            candidates = np.asarray(candidate_ids, dtype=np.int64)
+            if candidates.size == 0:
+                return np.zeros(0, dtype=np.int64), np.zeros(0)
+            scores = self.store.all_services()[candidates] @ query_embedding
+            limit = min(k, candidates.size)
+            top = np.argpartition(-scores, limit - 1)[:limit]
+            order = top[np.argsort(-scores[top], kind="stable")]
+            return candidates[order], scores[order]
+        workers = self._current_workers()
+        version = self._version
+        replies = [
+            worker.search(version, query_embedding[None, :], k) for worker in workers
+        ]
+        ids, scores = merge_top_k(
+            [reply[0] for reply in replies],
+            [reply[1] for reply in replies],
+            k,
+        )
+        valid = ids[0] >= 0
+        return ids[0][valid], scores[0][valid]

@@ -1,10 +1,10 @@
 """Training loops: generic trainer, GARCIA pre-trainer and fine-tuner."""
 
-from repro.training.history import TrainingHistory, EpochRecord
-from repro.training.trainer import Trainer, TrainerConfig
-from repro.training.pretrainer import Pretrainer
 from repro.training.finetuner import Finetuner
+from repro.training.history import EpochRecord, TrainingHistory
+from repro.training.pretrainer import Pretrainer
 from repro.training.seeding import seed_everything
+from repro.training.trainer import Trainer, TrainerConfig
 
 __all__ = [
     "TrainingHistory",

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, gradient_check, no_grad, is_grad_enabled
+from repro.autograd import Tensor, gradient_check, is_grad_enabled, no_grad
 
 
 class TestTensorBasics:

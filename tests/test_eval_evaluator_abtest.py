@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.splits import head_tail_split
 from repro.eval.ab_test import ABTestConfig, OnlineABTest
 from repro.eval.evaluator import Evaluator
 from repro.eval.reporting import format_float_table, format_table

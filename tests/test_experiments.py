@@ -5,16 +5,15 @@ the plumbing (rows, columns, variants, series) rather than the scientific
 shapes, which the benchmark harness is responsible for.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
+    fig10_online_ab,
+    fig11_case_study,
     fig3_adaptive_encoding,
     fig4_mgcl_ablation,
     fig5_alpha,
     fig7_tree_depth,
-    fig10_online_ab,
-    fig11_case_study,
     table1_datasets,
     table2_graphs,
     table3_auc,

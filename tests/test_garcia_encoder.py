@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.graph.intention_tree import IntentionForest
 from repro.data.schema import Intention
+from repro.graph.intention_tree import IntentionForest
 from repro.models.garcia.encoder import GarciaGNNLayer, GraphEncoder, leaky_relu
 from repro.models.garcia.intention_encoder import IntentionEncoder
 

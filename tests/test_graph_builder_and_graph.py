@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.schema import CORRELATION_ATTRIBUTES, Interaction
-from repro.data.splits import chronological_split, head_tail_split
+from repro.data.schema import CORRELATION_ATTRIBUTES
 from repro.graph.builder import GraphBuildConfig, GraphBuilder
 from repro.graph.search_graph import ServiceSearchGraph
 

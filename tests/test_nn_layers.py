@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, gradient_check
-from repro.nn import Dropout, Embedding, Linear, MLP, Sequential, init
+from repro.nn import MLP, Dropout, Embedding, Linear, Sequential, init
 from repro.nn.layers import build_activation
 
 

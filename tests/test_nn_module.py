@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.nn import Linear, MLP, Module, Parameter, Sequential
+from repro.nn import MLP, Linear, Module, Parameter, Sequential
 
 
 class ToyModel(Module):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, functional as F
-from repro.nn import Adam, BCELoss, BCEWithLogitsLoss, InfoNCELoss, Linear, MLP, Parameter, SGD
+from repro.nn import MLP, SGD, Adam, BCELoss, BCEWithLogitsLoss, InfoNCELoss, Linear, Parameter
 
 
 def _quadratic_loss(parameter: Parameter) -> Tensor:

@@ -19,8 +19,8 @@ from repro.serving import ServingPipeline
 from repro.serving.embedding_store import EmbeddingStore
 from repro.serving.gateway import (
     ExactIndex,
-    IVFPQIndex,
     Int8Index,
+    IVFPQIndex,
     LSHIndex,
     ServingGateway,
     VersionedEmbeddingStore,

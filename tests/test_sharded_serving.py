@@ -1,0 +1,524 @@
+"""Tests for the sharded serving tier: scatter/gather merging, worker
+lifecycle, two-phase hot-swap atomicity, per-shard telemetry and the
+process-pool backend."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import ServingPipeline
+from repro.serving.embedding_store import EmbeddingStore
+from repro.serving.gateway import (
+    ExactIndex,
+    ServingGateway,
+    SnapshotListener,
+    StaleVersionError,
+    VersionedEmbeddingStore,
+    clustered_embeddings,
+    deploy_gateway,
+)
+from repro.serving.sharded import (
+    ProcessPool,
+    SerialPool,
+    ShardedGateway,
+    ShardedRetriever,
+    ShardWorker,
+    ThreadPool,
+    make_pool,
+    merge_top_k,
+    resolve_workers,
+    shard_candidate_counts,
+)
+
+NUM_QUERIES, NUM_SERVICES, DIM = 400, 3000, 32
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return clustered_embeddings(
+        NUM_QUERIES, NUM_SERVICES, DIM, num_clusters=12, spread=0.18, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def quantized_store(clustered):
+    queries, services = clustered
+    return VersionedEmbeddingStore(
+        queries, services, num_shards=4, quantization=("int8", "pq")
+    )
+
+
+def single_gateway(clustered, index, **kwargs):
+    queries, services = clustered
+    store = VersionedEmbeddingStore(queries, services, num_shards=1,
+                                    quantization=("int8",))
+    return ServingGateway(store, index=index, cache_capacity=0, **kwargs)
+
+
+def sharded_gateway(clustered, index, workers="serial", num_shards=4, **kwargs):
+    queries, services = clustered
+    store = VersionedEmbeddingStore(queries, services, num_shards=num_shards,
+                                    quantization=("int8",))
+    return ShardedGateway(store, index=index, workers=workers,
+                          cache_capacity=0, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Exact k-way merge
+# --------------------------------------------------------------------- #
+class TestMergeTopK:
+    def test_merge_equals_single_index_top_k(self, clustered, rng):
+        queries, services = clustered
+        index = ExactIndex().build(services)
+        expected_ids, expected_scores = index.search(queries[:16], 10)
+        bounds = [0, 700, 1500, 2100, NUM_SERVICES]
+        shard_ids, shard_scores = [], []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            ids, scores = ExactIndex().build(services[lo:hi]).search(queries[:16], 10)
+            shard_ids.append(np.where(ids >= 0, ids + lo, ids))
+            shard_scores.append(scores)
+        merged_ids, merged_scores = merge_top_k(shard_ids, shard_scores, 10)
+        assert np.array_equal(merged_ids, expected_ids)
+        assert np.allclose(merged_scores, expected_scores)
+
+    def test_ties_break_by_ascending_id(self):
+        ids = [np.array([[5, 3]]), np.array([[1, 9]])]
+        scores = [np.array([[2.0, 1.0]]), np.array([[2.0, 1.0]])]
+        merged_ids, _ = merge_top_k(ids, scores, 4)
+        assert merged_ids.tolist() == [[1, 5, 3, 9]]
+
+    def test_padding_when_k_exceeds_candidates(self):
+        ids = [np.array([[4, -1]]), np.array([[7, -1]])]
+        scores = [np.array([[1.0, -np.inf]]), np.array([[3.0, -np.inf]])]
+        merged_ids, merged_scores = merge_top_k(ids, scores, 5)
+        assert merged_ids.tolist() == [[7, 4, -1, -1, -1]]
+        assert merged_scores[0, 2] == -np.inf
+
+    def test_candidate_counts_ignore_padding(self):
+        ids = [np.array([[4, -1]]), np.array([[7, 8]])]
+        assert shard_candidate_counts(ids) == [1, 2]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            merge_top_k([], [], 5)
+        with pytest.raises(ValueError):
+            merge_top_k([np.zeros((1, 2))], [np.zeros((1, 2))], 0)
+
+
+# --------------------------------------------------------------------- #
+# Shard worker lifecycle
+# --------------------------------------------------------------------- #
+class TestShardWorker:
+    def test_search_maps_global_ids(self, clustered):
+        queries, services = clustered
+        worker = ShardWorker(1, index="exact")
+        worker.prepare(0, services[1000:2000], lo=1000)
+        ids, scores = worker.search(0, queries[:4], 5)
+        assert np.all((ids >= 1000) & (ids < 2000))
+        expected, _ = ExactIndex().build(services[1000:2000]).search(queries[:4], 5)
+        assert np.array_equal(ids, expected + 1000)
+
+    def test_unknown_version_raises(self, clustered):
+        queries, services = clustered
+        worker = ShardWorker(0, index="exact")
+        worker.prepare(3, services[:100], lo=0)
+        with pytest.raises(StaleVersionError, match="version 7"):
+            worker.search(7, queries[:2], 5)
+
+    def test_activate_keeps_predecessor_only(self, clustered):
+        _, services = clustered
+        worker = ShardWorker(0, index="exact")
+        for version in (1, 2, 3):
+            worker.prepare(version, services[:50], lo=0)
+        worker.activate(3)
+        assert worker.versions == (2, 3)
+        with pytest.raises(KeyError):
+            worker.activate(9)
+
+    def test_retire_drops_version(self, clustered):
+        _, services = clustered
+        worker = ShardWorker(0, index="exact")
+        worker.prepare(5, services[:50], lo=0)
+        worker.retire(5)
+        assert worker.versions == ()
+
+    def test_prepare_snapshot_owns_published_tables(self, quantized_store):
+        snapshot = quantized_store.snapshot()
+        worker = ShardWorker(2, index="ivfpq")
+        worker.prepare_snapshot(snapshot)
+        state = worker.version_state(snapshot.version)
+        assert set(state.tables) == {"fp", "int8", "pq"}
+        lo, hi = snapshot.shard_bounds[2], snapshot.shard_bounds[3]
+        assert state.lo == lo and state.hi == hi
+        assert state.tables["int8"].num_vectors == hi - lo
+        assert state.nbytes > 0
+
+
+# --------------------------------------------------------------------- #
+# Scatter/gather parity with the single-process gateway
+# --------------------------------------------------------------------- #
+class TestScatterGatherParity:
+    @pytest.mark.parametrize("index", ["exact", "int8"])
+    def test_exact_scoring_matches_single_process(self, clustered, index):
+        single = single_gateway(clustered, index)
+        sharded = sharded_gateway(clustered, index, workers="serial")
+        query_ids = list(range(0, 120))
+        assert sharded.rank_batch(query_ids, 10) == single.rank_batch(query_ids, 10)
+        sharded.close()
+
+    def test_thread_backend_matches_serial(self, clustered):
+        serial = sharded_gateway(clustered, "exact", workers="serial")
+        threaded = sharded_gateway(clustered, "exact", workers="thread")
+        query_ids = list(range(64))
+        assert serial.rank_batch(query_ids, 10) == threaded.rank_batch(query_ids, 10)
+        serial.close()
+        threaded.close()
+
+    def test_exact_recall_probe_is_one(self, clustered):
+        sharded = sharded_gateway(clustered, "exact", workers="serial")
+        assert sharded.recall_probe(k=10, num_queries=128, seed=1) == 1.0
+        sharded.close()
+
+    def test_ivfpq_sharded_recall_floor(self, quantized_store):
+        gateway = ShardedGateway(quantized_store, index="ivfpq",
+                                 workers="serial", cache_capacity=0)
+        assert gateway.recall_probe(k=10, num_queries=256, seed=2) >= 0.9
+        gateway.close()
+
+    def test_ivf_sharded_recall_floor(self, clustered):
+        sharded = sharded_gateway(clustered, "ivf", workers="serial")
+        assert sharded.recall_probe(k=10, num_queries=256, seed=2) >= 0.85
+        sharded.close()
+
+    def test_sharded_gateway_requires_shards(self, clustered):
+        queries, services = clustered
+        store = VersionedEmbeddingStore(queries, services, num_shards=1)
+        with pytest.raises(ValueError, match="at least 2 shards"):
+            ShardedGateway(store, index="exact", workers="serial")
+
+    def test_resolve_workers(self):
+        assert resolve_workers("serial") == "serial"
+        assert resolve_workers("auto") in ("thread", "process")
+        with pytest.raises(ValueError):
+            resolve_workers("gpu")
+        with pytest.raises(ValueError):
+            make_pool("nope", 2)
+
+
+# --------------------------------------------------------------------- #
+# Two-phase hot-swap atomicity
+# --------------------------------------------------------------------- #
+class RecordingListener(SnapshotListener):
+    """Observes listener callbacks and the store version they ran at."""
+
+    def __init__(self, store):
+        self.store = store
+        self.events = []
+
+    def prepare(self, snapshot):
+        # During prepare the *old* version must still be current.
+        self.events.append(("prepare", snapshot.version, self.store.version))
+
+    def activate(self, snapshot):
+        self.events.append(("activate", snapshot.version, self.store.version))
+
+    def retire(self, version):
+        self.events.append(("retire", version, self.store.version))
+
+
+class ExplodingListener(SnapshotListener):
+    """Subscribes cleanly, then fails every later prepare (publish path)."""
+
+    def prepare(self, snapshot):
+        if snapshot.version > 0:
+            raise RuntimeError("prepare failed on purpose")
+
+
+class TestTwoPhaseHotSwap:
+    def test_prepare_runs_before_flip_activate_after(self, rng):
+        queries = rng.normal(size=(20, 8))
+        services = rng.normal(size=(50, 8))
+        store = VersionedEmbeddingStore(queries, services, num_shards=2)
+        listener = RecordingListener(store)
+        store.subscribe(listener)
+        assert listener.events == [("prepare", 0, 0), ("activate", 0, 0)]
+        store.publish(queries * 2, services * 2)
+        assert listener.events[2:] == [("prepare", 1, 0), ("activate", 1, 1)]
+
+    def test_failed_prepare_aborts_publish(self, rng):
+        queries = rng.normal(size=(20, 8))
+        services = rng.normal(size=(50, 8))
+        store = VersionedEmbeddingStore(queries, services, num_shards=2)
+        recorder = RecordingListener(store)
+        store.subscribe(recorder)
+        store.subscribe(ExplodingListener())
+        with pytest.raises(RuntimeError, match="on purpose"):
+            store.publish(queries * 2, services * 2)
+        # The flip never happened and the prepared listener retired v1.
+        assert store.version == 0
+        assert recorder.events[-1] == ("retire", 1, 0)
+        # The store still serves and can publish once the bad listener left.
+        store.unsubscribe(recorder)
+
+    def test_workers_never_serve_mixed_versions(self, clustered):
+        """Concurrent publishes + reads: every batch is answered at exactly
+        one version and matches that version's exact ranking."""
+        queries, services = clustered
+        store = VersionedEmbeddingStore(queries[:100], services[:800], num_shards=4)
+        gateway = ShardedGateway(store, index="exact", workers="thread",
+                                 cache_capacity=0)
+        expected = {0: ServingGateway(
+            VersionedEmbeddingStore(queries[:100], services[:800], num_shards=1),
+            index="exact", cache_capacity=0).rank_batch(range(32), 10)}
+        for version in (1, 2, 3):
+            scale = 1.0 + version / 10.0
+            expected[version] = ServingGateway(
+                VersionedEmbeddingStore(queries[:100] * scale,
+                                        services[:800] * scale, num_shards=1),
+                index="exact", cache_capacity=0).rank_batch(range(32), 10)
+        errors = []
+
+        def publisher():
+            try:
+                for version in (1, 2, 3):
+                    scale = 1.0 + version / 10.0
+                    gateway.hot_swap(queries[:100] * scale, services[:800] * scale)
+            except BaseException as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        def reader():
+            try:
+                for _ in range(12):
+                    ranked = gateway.rank_batch(range(32), 10)
+                    assert ranked in expected.values(), "mixed-version ranking"
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=publisher)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        gateway.close()
+        assert errors == []
+
+    def test_predecessor_version_stays_searchable(self, clustered):
+        queries, services = clustered
+        store = VersionedEmbeddingStore(queries, services, num_shards=4)
+        gateway = ShardedGateway(store, index="exact", workers="serial",
+                                 cache_capacity=0)
+        old_snapshot = store.snapshot()
+        gateway.hot_swap(queries * 1.5, services * 1.5)
+        # A request that pinned the pre-flip snapshot still gets answers.
+        ids, scores = gateway._search_backend(old_snapshot, queries[:4], 10)
+        expected, _ = ExactIndex().build(services).search(queries[:4], 10)
+        assert np.array_equal(ids, expected)
+        gateway.close()
+
+    def test_mixed_version_gather_fails_loudly(self, clustered):
+        queries, services = clustered
+        store = VersionedEmbeddingStore(queries, services, num_shards=4)
+        gateway = ShardedGateway(store, index="exact", workers="serial",
+                                 cache_capacity=0)
+        stale = store.snapshot()
+        gateway.hot_swap(queries * 1.5, services * 1.5)
+        gateway.hot_swap(queries * 2.0, services * 2.0)  # v0 retired everywhere
+        with pytest.raises(Exception, match="version"):
+            gateway._search_backend(stale, queries[:2], 5)
+        gateway.close()
+
+
+# --------------------------------------------------------------------- #
+# Process pool backend
+# --------------------------------------------------------------------- #
+class TestProcessPool:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return clustered_embeddings(80, 600, 16, num_clusters=6, spread=0.2, seed=5)
+
+    def test_process_matches_serial_and_survives_hot_swap(self, small):
+        queries, services = small
+        results = {}
+        for workers in ("serial", "process"):
+            store = VersionedEmbeddingStore(queries, services, num_shards=3,
+                                            quantization=("int8",))
+            gateway = ShardedGateway(store, index="exact", workers=workers,
+                                     cache_capacity=0)
+            before = gateway.rank_batch(range(40), 10)
+            gateway.hot_swap(queries * 1.2, services * 1.2)
+            after = gateway.rank_batch(range(40), 10)
+            assert gateway.store.version == 1
+            results[workers] = (before, after)
+            gateway.close()
+        assert results["process"] == results["serial"]
+
+    def test_worker_error_propagates(self, small):
+        queries, services = small
+        store = VersionedEmbeddingStore(queries, services, num_shards=2)
+        pool = ProcessPool(2, index="exact", timeout_s=30.0)
+        pool.prepare(store.snapshot())
+        pool.activate(store.snapshot())
+        # A never-prepared version is a stale-version miss on every worker —
+        # and must not desynchronise the reply pipes for later commands.
+        with pytest.raises(StaleVersionError, match="version 99"):
+            pool.search(99, queries[:2], 5)
+        replies = pool.search(0, queries[:2], 5)
+        assert [reply.version for reply in replies] == [0, 0]
+        pool.close()
+        pool.close()  # idempotent
+
+    def test_pool_factory_kinds(self):
+        assert isinstance(make_pool("serial", 2), SerialPool)
+        pool = make_pool("thread", 2)
+        assert isinstance(pool, ThreadPool)
+        pool.close()
+
+    def test_concurrent_producers_and_swaps_on_process_backend(self, small):
+        """Pipe I/O must stay paired when producer threads dispatch batches
+        while a publisher runs the two-phase flip (regression: interleaved
+        sends/recvs handed search threads the prepare replies)."""
+        import time
+
+        queries, services = small
+        store = VersionedEmbeddingStore(queries, services, num_shards=3,
+                                        quantization=("int8",))
+        gateway = ShardedGateway(store, index="exact", workers="process",
+                                 max_batch_size=16, max_wait_s=0.002,
+                                 cache_capacity=128)
+        gateway.scheduler.start()
+        errors, answered = [], []
+
+        def producer(offset):
+            try:
+                for query_id in range(offset, 60, 3):
+                    ids = gateway.submit(query_id, 5).result(timeout=10.0)[0]
+                    assert len(ids) == 5
+                    answered.append(query_id)
+            except BaseException as error:
+                errors.append(error)
+
+        def swapper():
+            try:
+                for version in (1, 2):
+                    time.sleep(0.02)
+                    gateway.hot_swap(queries * (1 + version / 10),
+                                     services * (1 + version / 10))
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=producer, args=(i,))
+                   for i in range(3)] + [threading.Thread(target=swapper)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        gateway.scheduler.stop()
+        assert errors == []
+        assert len(answered) == 60
+        assert store.version == 2
+        assert gateway.recall_probe(k=5, num_queries=64, seed=3) == 1.0
+        gateway.close()
+
+
+# --------------------------------------------------------------------- #
+# Per-shard telemetry
+# --------------------------------------------------------------------- #
+class TestPerShardTelemetry:
+    def test_shard_breakdown_sums_to_gateway_totals(self, clustered):
+        gateway = sharded_gateway(clustered, "exact", workers="serial")
+        gateway.rank_batch(range(96), 10)
+        telemetry = gateway.telemetry
+        rows = telemetry.shard_rows()
+        assert len(rows) == gateway.num_shards == telemetry.num_shards
+        # Every backend query is scattered to every shard ...
+        assert sum(row["queries"] for row in rows) == (
+            gateway.num_shards * telemetry.backend_queries
+        )
+        # ... and the gathered candidates decompose per shard.
+        assert sum(row["candidates"] for row in rows) == telemetry.gathered_candidates
+        # Exact scans always fill their k slots: the merge ranked
+        # num_shards * k candidates per backend query.
+        assert telemetry.gathered_candidates == (
+            gateway.num_shards * 10 * telemetry.backend_queries
+        )
+        for row in rows:
+            assert row["batches"] == rows[0]["batches"]
+            assert row["busy_s"] > 0 and row["qps"] > 0
+            assert row["p95_ms"] >= row["p50_ms"] >= 0
+        summary = gateway.summary()
+        assert summary["num_shards"] == gateway.num_shards
+        assert summary["gathered_candidates"] == telemetry.gathered_candidates
+        gateway.close()
+
+    def test_scheduler_execution_stats(self, clustered):
+        gateway = sharded_gateway(clustered, "exact", workers="serial")
+        gateway.rank_batch(range(40), 10)
+        stats = gateway.scheduler.stats()
+        assert stats["batches_dispatched"] >= 1
+        assert stats["requests_dispatched"] == 40
+        assert stats["p95_execute_ms"] >= stats["p50_execute_ms"] > 0
+        gateway.close()
+
+    def test_unsharded_gateway_has_no_shard_rows(self, clustered):
+        single = single_gateway(clustered, "exact")
+        single.rank_batch(range(8), 5)
+        assert single.telemetry.shard_rows() == []
+        assert single.telemetry.num_shards == 0
+
+
+# --------------------------------------------------------------------- #
+# Pipeline + one-call deployment
+# --------------------------------------------------------------------- #
+class TestPipelineAndDeploy:
+    def test_pipeline_sharded_scoring_matches_inner_product(self, clustered):
+        queries, services = clustered
+        store = EmbeddingStore(queries[:50], services[:400])
+        sharded = ServingPipeline(store, scoring="sharded", ann_index="exact",
+                                  top_k=10)
+        exact = ServingPipeline(EmbeddingStore(queries[:50], services[:400]),
+                                scoring="inner_product", top_k=10)
+        for query_id in range(10):
+            assert sharded.rank(query_id, 10) == exact.rank(query_id, 10)
+
+    def test_pipeline_sharded_rebuilds_on_refresh(self, clustered):
+        queries, services = clustered
+        store = EmbeddingStore(queries[:50], services[:400])
+        pipeline = ServingPipeline(store, scoring="sharded", ann_index="exact",
+                                   top_k=5)
+        before = pipeline.rank(1, 5)
+        rng = np.random.default_rng(0)
+        store.refresh(rng.normal(size=queries[:50].shape),
+                      rng.normal(size=services[:400].shape))
+        after = pipeline.rank(1, 5)
+        expected = ServingPipeline(store, scoring="inner_product", top_k=5).rank(1, 5)
+        assert after == expected
+        assert before != after  # embeddings changed, ranking followed
+
+    def test_sharded_retriever_candidate_restriction(self, clustered):
+        queries, services = clustered
+        store = EmbeddingStore(queries[:50], services[:400])
+        retriever = ShardedRetriever(store, num_shards=4, index="exact")
+        ids, scores = retriever.retrieve(0, 5, candidate_ids=[3, 9, 27])
+        assert set(ids) <= {3, 9, 27}
+        assert list(scores) == sorted(scores, reverse=True)
+        empty_ids, empty_scores = retriever.retrieve(0, 5, candidate_ids=[])
+        assert empty_ids.size == 0 and empty_scores.size == 0
+        with pytest.raises(ValueError):
+            retriever.retrieve(0, 0)
+
+    def test_deploy_gateway_num_shards_routes_to_sharded(self, tiny_scenario):
+        from repro.models.baselines.lightgcn import LightGCN
+
+        model = LightGCN(tiny_scenario.graph, embedding_dim=8, seed=0)
+        sharded = deploy_gateway(model, index="exact", num_shards=4,
+                                 workers="serial", cache_capacity=0)
+        assert isinstance(sharded, ShardedGateway)
+        single = deploy_gateway(model, index="exact", cache_capacity=0)
+        assert not isinstance(single, ShardedGateway)
+        assert sharded.rank(0, 5) == single.rank(0, 5)
+        version = sharded.hot_swap_from_model(model)
+        assert version == 1
+        sharded.close()
