@@ -39,6 +39,7 @@ from repro.eval.reporting import format_float_table
 from repro.eval.serving_metrics import (
     compression_report,
     load_test_rows,
+    recall_at_k,
     summarize_gateway,
 )
 from repro.serving.gateway import ExactIndex, ServingGateway, VersionedEmbeddingStore
@@ -86,6 +87,23 @@ def run_load_test(params=None, seed=0, modes=None):
     return summaries
 
 
+def adc_recall_by_init(queries, services, top_k=10, num_subspaces=8):
+    """Raw (un-refined) ADC scan recall per codebook init, same code budget.
+
+    The ROADMAP's "smarter PQ codebooks" yardstick: recall of a pure ADC
+    full-table scan with the PR-2 uniform-random init vs the kmeans++
+    D²-weighted seeding, everything else identical.
+    """
+    probe = queries[:512]
+    exact_ids, _ = ExactIndex().build(services).search(probe, top_k)
+    recalls = {}
+    for init in ("random", "kmeans++"):
+        table = quantize_pq(services, num_subspaces=num_subspaces, init=init)
+        ids = np.argsort(-table.scores(probe), axis=1)[:, :top_k]
+        recalls[init] = recall_at_k(ids, exact_ids, top_k)
+    return recalls
+
+
 def table_compression_rows(queries, services, top_k=10, subspaces=(4, 8, 16)):
     """Service-table memory vs recall of a pure (gateway-free) table scan."""
     probe = queries[:512]
@@ -107,7 +125,8 @@ def table_compression_rows(queries, services, top_k=10, subspaces=(4, 8, 16)):
     )
 
 
-def build_payload(params, rows, table_rows, by_mode, by_table, seed, smoke):
+def build_payload(params, rows, table_rows, by_mode, by_table, seed, smoke,
+                  adc_by_init=None):
     payload = {
         "workload": dict(params, distribution="zipf(1.1)"),
         "seed": seed,
@@ -121,6 +140,8 @@ def build_payload(params, rows, table_rows, by_mode, by_table, seed, smoke):
     if "ivf" in by_mode and "ivfpq_m8" in by_mode:
         payload["qps_ratio_ivfpq_m8_vs_ivf"] = (by_mode["ivfpq_m8"].qps
                                                 / by_mode["ivf"].qps)
+    if adc_by_init is not None:
+        payload["pq_m8_raw_adc_recall_by_init"] = adc_by_init
     return payload
 
 
@@ -147,9 +168,12 @@ def test_quantized_serving(benchmark):
     ))
     by_table = {row["table"]: row for row in table_rows}
 
+    adc_by_init = adc_recall_by_init(queries, services, top_k=FULL["top_k"])
+    print(f"\nRaw ADC recall@{FULL['top_k']} by codebook init: {adc_by_init}")
+
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = build_payload(FULL, rows, table_rows, by_mode, by_table,
-                            seed=0, smoke=False)
+                            seed=0, smoke=False, adc_by_init=adc_by_init)
     (RESULTS_DIR / "quantized_serving.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
@@ -189,11 +213,17 @@ def main(argv=None):
         table_rows, title="Service-table compression (baseline float64)"
     ))
     by_table = {row["table"]: row for row in table_rows}
+    adc_by_init = adc_recall_by_init(queries, services, top_k=params["top_k"])
+    print(f"\nRaw ADC recall@{params['top_k']} by codebook init: {adc_by_init}")
     write_json(args.out, build_payload(params, rows, table_rows, by_mode,
                                        by_table, seed=args.seed,
-                                       smoke=args.smoke))
+                                       smoke=args.smoke,
+                                       adc_by_init=adc_by_init))
     print(f"wrote {args.out}")
 
+    require(adc_by_init["kmeans++"] >= adc_by_init["random"] - 0.01,
+            "kmeans++ init must not regress raw ADC recall vs random init "
+            f"({adc_by_init['kmeans++']:.3f} vs {adc_by_init['random']:.3f})")
     require(by_table["int8"]["compression_x"] >= 4.0,
             "int8 must compress the fp64 table >= 4x")
     require(by_mode["int8"].recall_at_k >= 0.95,

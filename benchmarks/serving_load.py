@@ -1,18 +1,42 @@
-"""Shared workload construction + drive loop for the serving benches.
+"""Shared workload construction + drive loops for the serving benches.
 
-All three serving benches (throughput, quantized, sharded) push the same
-kind of Zipf-skewed request stream through a gateway in micro-batches;
-keeping the workload builder and the drive loop here means a change to the
-driving protocol happens in exactly one place.  Like
-:mod:`benchmarks.bench_args` this module is pytest-free so the script entry
-points work in minimal environments.
+All serving benches (throughput, quantized, sharded, async) push the same
+kind of Zipf-skewed request stream through a gateway; keeping the workload
+builder and the drive protocols here means a change to the driving
+happens in exactly one place.  Like :mod:`benchmarks.bench_args` this
+module is pytest-free so the script entry points work in minimal
+environments.
+
+Three drive protocols:
+
+* :func:`drive` — the PR-1 closed loop: submit one micro-batch, flush,
+  wait, repeat.  Offered load adapts to service rate, so it measures peak
+  batch throughput but can never observe queueing.
+* :func:`drive_concurrent` — the async closed loop at high fan-out: up to
+  ``concurrency`` requests are held in flight on one event loop (the
+  regime the thread-per-wait scheduler could not reach), each new request
+  admitted the moment a slot frees.
+* :func:`drive_open_loop` — the async *open* loop: arrivals follow a
+  seeded Poisson process at ``rate_qps`` and are submitted regardless of
+  completions, exactly like independent user traffic.  Offered load no
+  longer adapts to the server, so overload actually builds queues — which
+  is what the admission-control, deadline and backpressure metrics need
+  in order to mean anything.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 
-from repro.serving.gateway import clustered_embeddings, zipf_query_ids
+import numpy as np
+
+from repro.serving.gateway import (
+    DeadlineExceededError,
+    OverloadError,
+    clustered_embeddings,
+    zipf_query_ids,
+)
 
 
 def make_workload(params: dict, seed: int):
@@ -51,3 +75,142 @@ def drive(gateway, stream, batch_size: int) -> float:
         for handle in handles:
             handle.result(0)
     return time.perf_counter() - started
+
+
+def load_report(
+    latencies_s,
+    elapsed_s: float,
+    attempted: int,
+    completed: int,
+    rejected: int = 0,
+    deadline_missed: int = 0,
+    max_in_flight: int = 0,
+) -> dict:
+    """One drive run's report row (shared by the async and thread drivers,
+    so percentile math and column names cannot drift between the modes a
+    bench compares)."""
+    ordered = sorted(latencies_s)
+
+    def pct(p: float) -> float:
+        if not ordered:
+            return float("nan")
+        return ordered[min(len(ordered) - 1, int(p * len(ordered)))] * 1e3
+
+    return {
+        "requests": attempted,
+        "completed": completed,
+        "rejected_overload": rejected,
+        "deadline_missed": deadline_missed,
+        "max_in_flight": max_in_flight,
+        "elapsed_s": elapsed_s,
+        "sustained_qps": completed / elapsed_s if elapsed_s > 0 else 0.0,
+        "p50_ms": pct(0.50),
+        "p99_ms": pct(0.99),
+    }
+
+
+class _AsyncLoadState:
+    """Shared counters for one async drive run."""
+
+    def __init__(self) -> None:
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.completed = 0
+        self.rejected = 0
+        self.deadline_missed = 0
+        self.latencies_s: list = []
+
+    def enter(self) -> float:
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+        return time.perf_counter()
+
+    def leave_ok(self, started: float) -> None:
+        self.completed += 1
+        self.latencies_s.append(time.perf_counter() - started)
+        self.in_flight -= 1
+
+    def report(self, elapsed_s: float, attempted: int) -> dict:
+        return load_report(
+            self.latencies_s,
+            elapsed_s,
+            attempted,
+            self.completed,
+            rejected=self.rejected,
+            deadline_missed=self.deadline_missed,
+            max_in_flight=self.max_in_flight,
+        )
+
+
+async def _one_request(gateway, query_id: int, deadline_s, state: _AsyncLoadState):
+    started = state.enter()
+    try:
+        await gateway.search_async(int(query_id), deadline_s=deadline_s)
+    except OverloadError:
+        state.rejected += 1
+        state.in_flight -= 1
+    except DeadlineExceededError:
+        state.deadline_missed += 1
+        state.in_flight -= 1
+    else:
+        state.leave_ok(started)
+
+
+async def drive_concurrent(gateway, stream, concurrency: int, deadline_s=None) -> dict:
+    """Hold up to ``concurrency`` requests in flight on the current loop.
+
+    Returns a report dict with sustained QPS, latency percentiles, the
+    in-flight high-water mark and the shed-request counters.
+    """
+    state = _AsyncLoadState()
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def bounded(query_id) -> None:
+        async with semaphore:
+            await _one_request(gateway, query_id, deadline_s, state)
+
+    started = time.perf_counter()
+    tasks = [asyncio.ensure_future(bounded(query_id)) for query_id in stream]
+    await asyncio.gather(*tasks)
+    # Timestamp before the drain: the thread path's report excludes its
+    # scheduler stop too, so the modes' sustained_qps stay comparable.
+    elapsed = time.perf_counter() - started
+    await gateway.stop_async()
+    return state.report(elapsed, len(stream))
+
+
+async def drive_open_loop(
+    gateway, stream, rate_qps: float, deadline_s=None, seed: int = 0
+) -> dict:
+    """Arrival-rate-driven (open-loop) load: Poisson arrivals at ``rate_qps``.
+
+    Submissions happen at the seeded arrival instants whether or not earlier
+    requests completed, so in-flight work genuinely accumulates when the
+    gateway falls behind the offered rate — the open-loop property closed
+    drive loops cannot reproduce.  Returns the same report shape as
+    :func:`drive_concurrent` plus the offered rate.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_qps, size=len(stream))
+    state = _AsyncLoadState()
+    loop = asyncio.get_running_loop()
+    started = time.perf_counter()
+    next_at = loop.time()
+    tasks = []
+    for gap, query_id in zip(gaps, stream):
+        next_at += float(gap)
+        delay = next_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(_one_request(gateway, query_id, deadline_s, state))
+        )
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+    await gateway.stop_async()
+    report = state.report(elapsed, len(stream))
+    report["offered_qps"] = float(rate_qps)
+    return report

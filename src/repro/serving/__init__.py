@@ -13,11 +13,15 @@ The production deployment runs a hybrid offline–online pipeline:
 
 The high-throughput production variant of step 3 lives in
 :mod:`repro.serving.gateway`: approximate (IVF / LSH) retrieval indexes, a
-versioned embedding store with atomic daily hot-swap, a micro-batching
-request scheduler with an LRU+TTL result cache, and serving telemetry.  Its
+versioned embedding store with atomic daily hot-swap, an asyncio-native
+micro-batching request scheduler (bounded admission queue, per-request
+deadlines, cooperative cancellation — with a synchronous facade over the
+same core) plus an LRU+TTL result cache, and serving telemetry.  Its
 scale-out deployment lives in :mod:`repro.serving.sharded`: one worker per
 store shard (serial / thread / process backends) behind a scatter/gather
-gateway with exact top-K merging and per-shard telemetry.
+gateway with exact top-K merging and per-shard telemetry; the scatter
+overlaps per-shard work on the event loop for async callers.  See
+``src/repro/serving/README.md`` for the layer map.
 """
 
 from repro.serving.embedding_store import EmbeddingStore

@@ -47,7 +47,13 @@ from repro.serving.gateway.index import (
     build_index,
     index_kinds,
 )
-from repro.serving.gateway.scheduler import BatchScheduler, PendingRequest
+from repro.serving.gateway.scheduler import (
+    AsyncBatchScheduler,
+    BatchScheduler,
+    DeadlineExceededError,
+    OverloadError,
+    PendingRequest,
+)
 from repro.serving.gateway.store import (
     EmbeddingSnapshot,
     SnapshotListener,
@@ -60,7 +66,9 @@ from repro.serving.gateway.workload import clustered_embeddings, zipf_query_ids
 from repro.serving.quant.ivfpq import Int8Index, IVFPQIndex
 
 __all__ = [
+    "AsyncBatchScheduler",
     "BatchScheduler",
+    "DeadlineExceededError",
     "EmbeddingSnapshot",
     "ExactIndex",
     "GatewayTelemetry",
@@ -70,6 +78,7 @@ __all__ = [
     "Int8Index",
     "LRUTTLCache",
     "LSHIndex",
+    "OverloadError",
     "PendingRequest",
     "RetrievalIndex",
     "ServingGateway",

@@ -11,18 +11,27 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from typing import Any, Callable, Hashable, Optional, Tuple
 
 
 class LRUTTLCache:
-    """Thread-safe LRU cache whose entries also expire after ``ttl_s``.
+    """LRU cache whose entries also expire after ``ttl_s``.
 
     A ``capacity`` of 0 disables caching entirely (every ``get`` misses and
     ``put`` is a no-op) so callers need no special-casing.
+
+    ``thread_safe=True`` (the default) guards every call with a lock — what
+    the multi-threaded sync request path needs.  The asyncio-native gateway
+    confines all cache access to one event loop, where the lock is pure
+    overhead on every cache hit; ``thread_safe=False`` swaps it for a
+    no-op :func:`~contextlib.nullcontext`, so a hit never takes (and can
+    never block on) a lock.
     """
 
     def __init__(self, capacity: int = 1024, ttl_s: Optional[float] = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 thread_safe: bool = True) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         if ttl_s is not None and ttl_s <= 0:
@@ -30,7 +39,7 @@ class LRUTTLCache:
         self.capacity = capacity
         self.ttl_s = ttl_s
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = threading.Lock() if thread_safe else nullcontext()
         self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0

@@ -7,12 +7,23 @@ deployment story (Sec. V-F).  One instance owns
   the daily-refreshed embedding snapshots,
 * a :class:`~repro.serving.gateway.index.RetrievalIndex` built per snapshot
   version (rebuilt atomically on hot-swap),
-* a :class:`~repro.serving.gateway.scheduler.BatchScheduler` coalescing
-  concurrent requests into vectorised searches,
+* an :class:`~repro.serving.gateway.scheduler.AsyncBatchScheduler`
+  coalescing concurrent requests into vectorised searches (reached through
+  the synchronous :class:`~repro.serving.gateway.scheduler.BatchScheduler`
+  facade for thread-based callers),
 * an :class:`~repro.serving.gateway.cache.LRUTTLCache` keyed by
   ``(query_id, k, version)`` so hot-swaps are self-invalidating, and
 * a :class:`~repro.serving.gateway.telemetry.GatewayTelemetry` recording
-  QPS, latency percentiles, cache hit rate and ANN recall.
+  QPS, latency percentiles, cache hit rate, ANN recall, queue depth,
+  overload/deadline shedding and event-loop lag.
+
+The request path is asyncio-native end to end: :meth:`ServingGateway.
+search_async` submits into the async scheduler and awaits the result on the
+caller's event loop, with backpressure (bounded admission queue), deadline
+propagation and cooperative cancellation.  The synchronous surface
+(:meth:`search` / :meth:`rank` / :meth:`submit` + ``flush``) is a thin
+wrapper that drives the *same* async core on a private loop — one request
+path, two calling conventions.
 
 The gateway satisfies the same ``rank(query_id, k)`` protocol as
 :class:`~repro.serving.pipeline.ServingPipeline`, so it can be dropped
@@ -21,8 +32,10 @@ straight into the A/B-test simulator.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
+from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,9 +60,26 @@ class ServingGateway(SnapshotListener):
     whether driven through :meth:`hot_swap` or directly on the store —
     builds the new version's index *before* the version flip and invalidates
     the superseded cache entries right after it.  Subclasses (the sharded
-    tier) override :meth:`_search_backend` and the listener hooks to swap
-    the single-process index for a worker pool without touching the
-    request/cache path.
+    tier) override :meth:`_search_backend` / :meth:`_search_backend_async`
+    and the listener hooks to swap the single-process index for a worker
+    pool without touching the request/cache path.
+
+    Loop-front-end knobs:
+
+    * ``max_queue`` bounds the admission queue; ``overload`` picks the
+      backpressure policy (``"reject"`` fails a submit with
+      :class:`~repro.serving.gateway.scheduler.OverloadError`, ``"wait"``
+      parks async submitters until a slot frees),
+    * ``default_deadline_s`` gives every request a deadline unless the call
+      site passes its own — requests past it are shed before scoring,
+    * ``cpu_executor`` moves the CPU-bound scoring off the event loop
+      (``"thread"`` for an owned single worker, any
+      :class:`concurrent.futures.Executor` to plug your own, ``None`` to
+      score inline — the deterministic default),
+    * ``loop_confined=True`` declares that *all* access happens on one
+      event loop (or one thread): the result cache and telemetry then drop
+      their per-call locks, so a cache hit never takes — and can never
+      block on — a lock.
     """
 
     def __init__(self, store: VersionedEmbeddingStore, index: str = "ivf",
@@ -57,6 +87,9 @@ class ServingGateway(SnapshotListener):
                  max_batch_size: int = 64, max_wait_s: float = 0.002,
                  cache_capacity: int = 4096, cache_ttl_s: Optional[float] = None,
                  max_staleness_s: Optional[float] = None,
+                 max_queue: Optional[int] = None, overload: str = "wait",
+                 default_deadline_s: Optional[float] = None,
+                 cpu_executor=None, loop_confined: bool = False,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if top_k <= 0:
             raise ValueError("top_k must be positive")
@@ -65,14 +98,29 @@ class ServingGateway(SnapshotListener):
         self.index_params = dict(index_params or {})
         self.top_k = top_k
         self.max_staleness_s = max_staleness_s
+        self.default_deadline_s = default_deadline_s
+        self.loop_confined = loop_confined
         self._clock = clock
         self._index_lock = threading.Lock()
         self._indexes: Dict[int, RetrievalIndex] = {}
-        self.cache = LRUTTLCache(capacity=cache_capacity, ttl_s=cache_ttl_s, clock=clock)
-        self.telemetry = GatewayTelemetry(clock=clock)
+        self._owns_cpu_executor = False
+        if cpu_executor == "thread":
+            cpu_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="gateway-score")
+            self._owns_cpu_executor = True
+        elif cpu_executor is not None and not isinstance(cpu_executor, Executor):
+            raise ValueError(
+                "cpu_executor must be None, 'thread', or a concurrent.futures"
+                f".Executor, got {cpu_executor!r}")
+        self._cpu_executor: Optional[Executor] = cpu_executor
+        self.cache = LRUTTLCache(capacity=cache_capacity, ttl_s=cache_ttl_s,
+                                 clock=clock, thread_safe=not loop_confined)
+        self.telemetry = GatewayTelemetry(clock=clock,
+                                          thread_safe=not loop_confined)
         self.scheduler = BatchScheduler(
-            self._execute_batch, max_batch_size=max_batch_size,
-            max_wait_s=max_wait_s, clock=clock,
+            self._execute_batch_async, max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s, clock=clock, max_queue=max_queue,
+            overload=overload, telemetry=self.telemetry,
         )
         self._active_version: Optional[int] = None
         # Subscribing prepares + activates the current snapshot eagerly, so
@@ -137,12 +185,34 @@ class ServingGateway(SnapshotListener):
         """
         return self._index_for(snapshot).search(query_matrix, k)
 
+    async def _search_backend_async(self, snapshot, query_matrix: np.ndarray,
+                                    k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The async face of the backend search (the executor boundary).
+
+        CPU-bound scoring is pushed through ``cpu_executor`` when one is
+        configured, so the event loop keeps admitting and timing out
+        requests while numpy scans the catalogue; without one the scan runs
+        inline (deterministic, and correct for the sync facade which has no
+        loop to protect).  The sharded subclass overrides this with a
+        loop-driven scatter/gather instead.
+        """
+        if self._cpu_executor is not None:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._cpu_executor, self._search_backend,
+                snapshot, query_matrix, k)
+        return self._search_backend(snapshot, query_matrix, k)
+
     # ------------------------------------------------------------------ #
-    # Request path
+    # Request path (async core + sync wrappers)
     # ------------------------------------------------------------------ #
-    def submit(self, query_id: int, k: Optional[int] = None) -> PendingRequest:
+    def submit(self, query_id: int, k: Optional[int] = None,
+               deadline_s: Optional[float] = None) -> PendingRequest:
         """Enqueue one request for micro-batched execution."""
-        return self.scheduler.submit(query_id, k if k is not None else self.top_k)
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        return self.scheduler.submit(
+            query_id, k if k is not None else self.top_k, deadline_s=deadline_s)
 
     def poll(self) -> int:
         return self.scheduler.poll()
@@ -150,11 +220,55 @@ class ServingGateway(SnapshotListener):
     def flush(self) -> int:
         return self.scheduler.flush()
 
+    def search(self, query_id: int, k: Optional[int] = None,
+               deadline_s: Optional[float] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Synchronous single search: ``(ids, scores)`` for one query.
+
+        A thin wrapper over the async core: the request is admitted to the
+        same scheduler queue and executed by the same batch path as
+        :meth:`search_async`, driven to completion on the facade's loop.
+        """
+        pending = self.submit(query_id, k, deadline_s=deadline_s)
+        self.scheduler.flush()
+        return pending.result()
+
+    async def search_async(self, query_id: int, k: Optional[int] = None,
+                           deadline_s: Optional[float] = None
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Async single search: admit, batch, score, gather — on one loop.
+
+        Backpressure applies at admission (``max_queue`` / ``overload``),
+        the request inherits ``default_deadline_s`` unless ``deadline_s``
+        overrides it, and awaiting caller cancellation propagates into the
+        scheduler: a request cancelled before its batch executes is dropped
+        without being scored.
+        """
+        core = self.scheduler.async_scheduler
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        pending = await core.submit(
+            query_id, k if k is not None else self.top_k, deadline_s=deadline_s)
+        core.start()  # idempotent: the drive task for the current loop
+        try:
+            return await pending.wait()
+        except asyncio.CancelledError:
+            pending.cancel()
+            raise
+
+    async def rank_async(self, query_id: int, k: Optional[int] = None,
+                         deadline_s: Optional[float] = None) -> List[int]:
+        """Async variant of the A/B simulator's ranker protocol."""
+        ids, _ = await self.search_async(query_id, k, deadline_s=deadline_s)
+        return [int(service_id) for service_id in ids]
+
+    async def stop_async(self) -> None:
+        """Stop the drive task on the current loop, draining the queue."""
+        await self.scheduler.async_scheduler.stop()
+
     def rank(self, query_id: int, k: Optional[int] = None) -> List[int]:
         """Synchronous single request (the A/B simulator's ranker protocol)."""
-        pending = self.submit(query_id, k)
-        self.scheduler.flush()
-        ids, _ = pending.result()
+        ids, _ = self.search(query_id, k)
         return [int(service_id) for service_id in ids]
 
     def rank_batch(self, query_ids: Sequence[int],
@@ -164,7 +278,10 @@ class ServingGateway(SnapshotListener):
         self.scheduler.flush()
         return [[int(service_id) for service_id in handle.result()[0]] for handle in handles]
 
-    def _execute_batch(self, batch: Sequence[PendingRequest]) -> List[Tuple[np.ndarray, np.ndarray]]:
+    # ------------------------------------------------------------------ #
+    # Batch execution (the scheduler's executor — one path, sync or async)
+    # ------------------------------------------------------------------ #
+    async def _execute_batch_async(self, batch: Sequence[PendingRequest]) -> List:
         """Scheduler executor with version re-pinning.
 
         The batch pins one snapshot and is answered entirely at its version.
@@ -177,12 +294,12 @@ class ServingGateway(SnapshotListener):
         for _ in range(3):
             snapshot = self.store.snapshot(self.max_staleness_s)
             try:
-                return self._execute_batch_pinned(batch, snapshot)
+                return await self._execute_batch_pinned(batch, snapshot)
             except StaleVersionError as error:
                 last_error = error
         raise last_error
 
-    def _execute_batch_pinned(
+    async def _execute_batch_pinned(
             self, batch: Sequence[PendingRequest],
             snapshot) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Cache lookups + one vectorised search, all at ``snapshot``'s version.
@@ -191,11 +308,29 @@ class ServingGateway(SnapshotListener):
         a single backend search; ``telemetry.backend_queries`` counts the
         de-duplicated lookups so the saving is observable.  A request with an
         unknown query id or invalid k fails alone (its result is an exception)
-        instead of failing the whole batch.
+        instead of failing the whole batch; a request cancelled while its
+        batch was in flight is skipped — its slot is never scored.
         """
+        resolved, hit_keys, misses = self._plan_batch(batch, snapshot)
+        if misses:
+            query_matrix = snapshot.query([query_id for query_id, _ in misses])
+            max_k = max(k for _, k in misses)
+            ids, scores = await self._search_backend_async(
+                snapshot, query_matrix, max_k)
+            for row, (query_id, k) in enumerate(misses):
+                valid = ids[row, :k] >= 0
+                value = (ids[row, :k][valid].copy(), scores[row, :k][valid].copy())
+                resolved[(query_id, k)] = value
+                self.cache.put((query_id, k, snapshot.version), value)
+        return self._collect_results(batch, resolved, hit_keys, misses)
+
+    def _plan_batch(self, batch: Sequence[PendingRequest], snapshot):
+        """Resolve each request from the cache or mark it a backend miss."""
         resolved: Dict[Tuple[int, int], object] = {}
         hit_keys = set()
         for pending in batch:
+            if pending.cancelled:
+                continue
             key = (pending.query_id, pending.k)
             if key in resolved:
                 continue
@@ -215,26 +350,29 @@ class ServingGateway(SnapshotListener):
         misses = [
             (pending.query_id, pending.k)
             for pending in batch
-            if (pending.query_id, pending.k) not in resolved
+            if not pending.cancelled
+            and (pending.query_id, pending.k) not in resolved
         ]
         misses = list(dict.fromkeys(misses))  # preserve order, drop duplicates
-        if misses:
-            query_matrix = snapshot.query([query_id for query_id, _ in misses])
-            max_k = max(k for _, k in misses)
-            ids, scores = self._search_backend(snapshot, query_matrix, max_k)
-            for row, (query_id, k) in enumerate(misses):
-                valid = ids[row, :k] >= 0
-                value = (ids[row, :k][valid].copy(), scores[row, :k][valid].copy())
-                resolved[(query_id, k)] = value
-                self.cache.put((query_id, k, snapshot.version), value)
+        return resolved, hit_keys, misses
+
+    def _collect_results(self, batch: Sequence[PendingRequest], resolved,
+                         hit_keys, misses) -> List:
+        """Telemetry + one result (or per-request exception) per batch slot."""
         now = self._clock()
         self.telemetry.record_batch(len(batch), backend_queries=len(misses))
         results: List[object] = []
         for pending in batch:
             key = (pending.query_id, pending.k)
+            value = resolved.get(key)
+            if pending.cancelled or value is None:
+                # The slot was never scored; the scheduler discards the
+                # placeholder because a cancelled request cannot complete.
+                results.append(asyncio.CancelledError("request cancelled"))
+                continue
             self.telemetry.record_request(max(0.0, now - pending.enqueued_at),
                                           cache_hit=key in hit_keys)
-            results.append(resolved[key])
+            results.append(value)
         return results
 
     # ------------------------------------------------------------------ #
@@ -282,13 +420,17 @@ class ServingGateway(SnapshotListener):
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Detach from the store's publish protocol.
+        """Detach from the store's publish protocol and stop the scheduler.
 
         A store can outlive the gateways serving it; without unsubscribing,
         every future publish would keep building (and retaining) indexes for
         a gateway nobody queries any more.
         """
         self.store.unsubscribe(self)
+        self.scheduler.close()
+        if self._owns_cpu_executor and self._cpu_executor is not None:
+            self._cpu_executor.shutdown(wait=False)
+            self._cpu_executor = None
 
     def __enter__(self) -> "ServingGateway":
         return self
@@ -313,6 +455,12 @@ def deploy_gateway(model, index: str = "ivf", index_params: Optional[dict] = Non
     :class:`~repro.serving.sharded.ShardWorker` per contiguous store shard
     behind the same request path, with ``workers`` choosing the execution
     backend (``"process"`` / ``"thread"`` / ``"serial"`` / ``"auto"``).
+
+    Either tier exposes the asyncio-native front-end: ``await
+    gateway.search_async(query_id)`` from any event loop, with admission
+    control, deadlines and cancellation configured through
+    ``gateway_kwargs`` (``max_queue`` / ``overload`` /
+    ``default_deadline_s`` / ``cpu_executor`` / ``loop_confined``).
     """
     store = VersionedEmbeddingStore.from_model(
         model, num_shards=num_shards, quantization=quantization,

@@ -1,4 +1,4 @@
-"""Micro-batching request scheduler for the serving gateway.
+"""Micro-batching request scheduler: an asyncio-native core + a sync shim.
 
 Single-request serving wastes the hardware: scoring one query against the
 catalogue is a matvec, while scoring 64 queued queries together is one BLAS
@@ -9,33 +9,105 @@ concurrent requests into such batches under a latency contract:
 * when the *oldest* queued request has waited ``max_wait_s`` (the deadline),
   whichever comes first.
 
+:class:`AsyncBatchScheduler` is the single batching implementation.  The
+thread-per-wait design it replaces parked one thread on an ``Event`` per
+in-flight request, capping a process at hundreds of concurrent requests;
+here every request is an ``asyncio``-completable handle and one loop task
+drives the deadline flushes, so thousands of requests can be in flight at
+the same micro-batch deadlines.  On top of the PR-1 batching contract it
+adds the request-lifecycle controls a loop front-end needs:
+
+* **admission control** — a bounded queue (``max_queue``) with two
+  backpressure policies: ``overload="reject"`` fails the submit with
+  :class:`OverloadError` immediately, ``overload="wait"`` parks the *async*
+  submitter on a FIFO waiter future until a slot frees (the sync
+  ``submit_nowait`` always rejects when full — there is no loop to park on);
+* **deadline propagation** — a request may carry a deadline; requests past
+  it are failed with :class:`DeadlineExceededError` *before* scoring, so an
+  overloaded queue sheds work it could no longer answer in time;
+* **cooperative cancellation** — a cancelled request's slot is dropped when
+  its batch is formed, so its query is never scored;
+* **graceful shutdown** — :meth:`AsyncBatchScheduler.stop` cancels the
+  drive task and drains the queue, completing every in-flight future.
+
+:class:`BatchScheduler` is the backwards-compatible synchronous facade: the
+same ``submit`` / ``poll`` / ``flush`` / ``start`` / ``stop`` surface as the
+PR-1 thread scheduler, now implemented as a thin shim that drives the async
+core on a private event loop (``run_until_complete`` for the explicit
+``poll``/``flush`` protocol, a single loop thread for :meth:`~BatchScheduler.
+start`).  It is a wrapper, not a sibling implementation: every batch —
+sync or async — is formed and executed by the same core.
+
 The clock is injectable so deadline semantics are unit-testable without
-sleeping, and an optional background thread drives the deadline flushes for
-real concurrent use (the bench and the example drive ``poll`` explicitly).
+sleeping (drive ``poll`` explicitly, as the benches and the examples do).
 """
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import threading
 import time
-from typing import Any, Callable, List, Optional, Sequence
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Sequence
+
+OVERLOAD_POLICIES = ("wait", "reject")
+
+
+class OverloadError(RuntimeError):
+    """Admission control rejected a request: the bounded queue is full."""
+
+
+class DeadlineExceededError(TimeoutError):
+    """A request aged past its deadline before its batch was scored."""
 
 
 class PendingRequest:
-    """Future-like handle for one enqueued request."""
+    """Completable handle for one enqueued request (sync *and* async).
 
-    def __init__(self, query_id: int, k: int, enqueued_at: float) -> None:
+    The synchronous side blocks on :meth:`result`; the asynchronous side
+    ``await``\\ s the handle (an :class:`asyncio.Future` is attached lazily
+    on the awaiting loop).  :meth:`cancel` is cooperative: a request
+    cancelled while queued is dropped when its batch is formed — its slot
+    is never scored.
+    """
+
+    def __init__(
+        self,
+        query_id: int,
+        k: int,
+        enqueued_at: float,
+        deadline_at: Optional[float] = None,
+    ) -> None:
         self.query_id = query_id
         self.k = k
         self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
         self.completed_at: Optional[float] = None
         self._event = threading.Event()
         self._value: Any = None
         self._error: Optional[BaseException] = None
+        self._cancelled = False
+        self._future: Optional[asyncio.Future] = None
 
     @property
     def done(self) -> bool:
         return self._event.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Cooperatively cancel; returns False when already completed."""
+        if self._event.is_set():
+            return False
+        self._cancelled = True
+        self._error = asyncio.CancelledError("request cancelled")
+        self._event.set()
+        if self._future is not None and not self._future.done():
+            self._future.cancel()
+        return True
 
     def result(self, timeout: Optional[float] = None) -> Any:
         """Block until the batch containing this request has executed."""
@@ -45,101 +117,417 @@ class PendingRequest:
             raise self._error
         return self._value
 
+    async def wait(self) -> Any:
+        """Await completion on the current event loop."""
+        if self._event.is_set():
+            if self._error is not None:
+                raise self._error
+            return self._value
+        if self._future is None:
+            self._future = asyncio.get_running_loop().create_future()
+        return await self._future
+
+    def __await__(self):
+        return self.wait().__await__()
+
     def _complete(self, value: Any, completed_at: float) -> None:
+        if self._event.is_set():  # already cancelled or failed: drop the value
+            return
         self._value = value
         self.completed_at = completed_at
         self._event.set()
+        if self._future is not None and not self._future.done():
+            self._future.set_result(value)
 
     def _fail(self, error: BaseException, completed_at: float) -> None:
+        if self._event.is_set():
+            return
         self._error = error
         self.completed_at = completed_at
         self._event.set()
+        if self._future is not None and not self._future.done():
+            self._future.set_exception(error)
 
 
-class BatchScheduler:
-    """Coalesce concurrent requests into vectorised batches with a deadline.
+class AsyncBatchScheduler:
+    """Coalesce concurrent requests into vectorised batches on one loop.
 
-    ``executor`` receives the list of :class:`PendingRequest` of one batch
-    and returns one result per request (same order).  A raised exception
-    propagates to every request of the failed batch; an exception *returned*
-    in place of a single result fails only that request, so one malformed
-    request cannot take down its batch-mates.
+    ``executor`` receives the list of live :class:`PendingRequest` of one
+    batch and returns one result per request (same order); it may be a
+    plain callable or a coroutine function.  A raised exception propagates
+    to every request of the failed batch; an exception *returned* in place
+    of a single result fails only that request.  A plain-callable executor
+    can be pushed off the loop through ``cpu_executor`` (any
+    :class:`concurrent.futures.Executor`) so scoring never blocks it.
+
+    The scheduler binds to an event loop lazily (first coroutine that
+    touches it) and may rebind when idle — which is how one scheduler can
+    serve the sync facade's private loop and a caller's ``asyncio.run``
+    in the same process, just not concurrently.
+
+    ``telemetry`` (optionally a
+    :class:`~repro.serving.gateway.telemetry.GatewayTelemetry`) receives
+    queue-depth, overload, deadline-miss, cancellation and loop-lag events.
     """
 
-    def __init__(self, executor: Callable[[Sequence[PendingRequest]], Sequence[Any]],
-                 max_batch_size: int = 32, max_wait_s: float = 0.002,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(
+        self,
+        executor: Callable[[Sequence[PendingRequest]], Sequence[Any]],
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        max_queue: Optional[int] = None,
+        overload: str = "wait",
+        cpu_executor=None,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry=None,
+    ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if max_wait_s < 0:
             raise ValueError("max_wait_s must be non-negative")
+        if max_queue is not None and max_queue <= 0:
+            raise ValueError("max_queue must be positive (or None for unbounded)")
+        if overload not in OVERLOAD_POLICIES:
+            known = ", ".join(OVERLOAD_POLICIES)
+            raise ValueError(f"unknown overload policy {overload!r} (known: {known})")
         self.executor = executor
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
+        self.overload = overload
+        self.cpu_executor = cpu_executor
+        self.telemetry = telemetry
         self._clock = clock
-        self._lock = threading.Lock()
-        self._queue: List[PendingRequest] = []
-        self._worker: Optional[threading.Thread] = None
-        self._stop = threading.Event()
+        self._queue: Deque[PendingRequest] = deque()
+        self._waiters: Deque[asyncio.Future] = deque()
+        # Slots already granted to woken waiters but not yet enqueued; they
+        # count against max_queue so fresh submitters cannot steal them.
+        self._reserved = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._drive_task: Optional[asyncio.Task] = None
         self.batches_dispatched = 0
         self.requests_dispatched = 0
+        self.overload_rejections = 0
+        self.deadline_misses = 0
+        self.cancelled_requests = 0
+        self.max_queue_depth = 0
         self.execute_latencies_s: List[float] = []
 
     # ------------------------------------------------------------------ #
-    # Producer side
+    # Loop binding
     # ------------------------------------------------------------------ #
-    def submit(self, query_id: int, k: int) -> PendingRequest:
-        """Enqueue one request; dispatches immediately on a full batch."""
-        pending = PendingRequest(int(query_id), int(k), self._clock())
-        batch: List[PendingRequest] = []
-        with self._lock:
-            self._queue.append(pending)
-            if len(self._queue) >= self.max_batch_size:
-                batch = self._take_locked()
-        if batch:
-            self._run(batch)
+    def check_rebind(self, loop: Optional[asyncio.AbstractEventLoop]) -> None:
+        """Raise if this scheduler is pinned to a different live loop.
+
+        Queued requests without an attached future are loop-agnostic (their
+        sync side is a plain Event); what actually pins the old loop is an
+        awaited future, a parked admission waiter, or a live drive task.
+        Sync callers check *before* enqueueing so a cross-loop mistake
+        fails cleanly instead of leaving a phantom request behind.
+        """
+        if self._loop is None or self._loop is loop:
+            return
+        pinned = any(
+            pending._future is not None and not pending._future.done()
+            for pending in self._queue
+        )
+        driving = self._drive_task is not None and not self._drive_task.done()
+        if pinned or self._waiters or driving:
+            raise RuntimeError(
+                "scheduler is bound to another event loop with work in flight"
+            )
+
+    def _bind_running_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            self.check_rebind(loop)
+            self._loop = loop
+            self._wake = asyncio.Event()
+            self._drive_task = None
+        return loop
+
+    def _notify(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    # ------------------------------------------------------------------ #
+    # Producer side (admission control)
+    # ------------------------------------------------------------------ #
+    def _make_pending(
+        self,
+        query_id: int,
+        k: int,
+        deadline_s: Optional[float],
+        entered_at: Optional[float] = None,
+    ) -> PendingRequest:
+        """Build the handle; the deadline counts from ``entered_at``.
+
+        ``entered_at`` is when the caller *asked* (before any admission
+        park), so under overload the deadline bounds the latency the caller
+        actually observes — time spent waiting for a queue slot included.
+        """
+        now = self._clock()
+        if entered_at is None:
+            entered_at = now
+        deadline_at = None if deadline_s is None else entered_at + float(deadline_s)
+        return PendingRequest(int(query_id), int(k), now, deadline_at=deadline_at)
+
+    def _reject_overload(self) -> None:
+        self.overload_rejections += 1
+        if self.telemetry is not None:
+            self.telemetry.record_overload()
+        raise OverloadError(
+            f"admission queue full ({len(self._queue)}/{self.max_queue} requests)"
+        )
+
+    def _enqueue(self, pending: PendingRequest) -> PendingRequest:
+        self._queue.append(pending)
+        depth = len(self._queue)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        if self.telemetry is not None:
+            self.telemetry.record_queue_depth(depth)
+        self._notify()
         return pending
+
+    def submit_nowait(
+        self, query_id: int, k: int, deadline_s: Optional[float] = None
+    ) -> PendingRequest:
+        """Enqueue without awaiting; a full bounded queue always rejects."""
+        if self.max_queue is not None and len(self._queue) >= self.max_queue:
+            self._reject_overload()
+        return self._enqueue(self._make_pending(query_id, k, deadline_s))
+
+    async def submit(
+        self, query_id: int, k: int, deadline_s: Optional[float] = None
+    ) -> PendingRequest:
+        """Enqueue under the configured backpressure policy.
+
+        ``overload="reject"`` raises :class:`OverloadError` when the bounded
+        queue is full; ``overload="wait"`` parks this submitter on a FIFO
+        waiter future until the drive loop frees a slot.  Admission is
+        fair: a woken waiter holds a *reserved* slot, and a fresh submitter
+        parks behind existing waiters instead of stealing it.  A request's
+        deadline counts from this call, so time parked in admission counts
+        against it.
+        """
+        self._bind_running_loop()
+        entered = self._clock()
+        if self.max_queue is not None and (
+            self._waiters or len(self._queue) + self._reserved >= self.max_queue
+        ):
+            if self.overload == "reject":
+                self._reject_overload()
+            waiter = self._loop.create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter  # resolved with a reserved slot attached
+            except BaseException:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+                elif waiter.done() and not waiter.cancelled():
+                    self._reserved -= 1  # granted but never consumed
+                raise
+            self._reserved -= 1
+        return self._enqueue(
+            self._make_pending(query_id, k, deadline_s, entered_at=entered)
+        )
 
     @property
     def pending_count(self) -> int:
-        with self._lock:
-            return len(self._queue)
+        return len(self._queue)
 
     # ------------------------------------------------------------------ #
     # Dispatch side
     # ------------------------------------------------------------------ #
-    def _take_locked(self) -> List[PendingRequest]:
-        batch = self._queue[: self.max_batch_size]
-        self._queue = self._queue[self.max_batch_size:]
+    def _due(self, now: float) -> bool:
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch_size:
+            return True
+        return now - self._queue[0].enqueued_at >= self.max_wait_s
+
+    def _take(self) -> List[PendingRequest]:
+        count = min(self.max_batch_size, len(self._queue))
+        batch = [self._queue.popleft() for _ in range(count)]
+        free = (
+            len(self._waiters)
+            if self.max_queue is None
+            else max(0, self.max_queue - len(self._queue) - self._reserved)
+        )
+        while self._waiters and free > 0:
+            waiter = self._waiters.popleft()
+            if waiter.done():  # cancelled while parked: no slot to grant
+                continue
+            waiter.set_result(None)
+            self._reserved += 1
+            free -= 1
         return batch
 
-    def _run(self, batch: List[PendingRequest]) -> None:
-        now = self._clock
-        started = now()
-        try:
-            results = self.executor(batch)
-            if len(results) != len(batch):
-                raise RuntimeError(
-                    f"executor returned {len(results)} results for a batch of {len(batch)}"
+    async def _call_executor(self, live: Sequence[PendingRequest]) -> Sequence[Any]:
+        if self.cpu_executor is not None and not asyncio.iscoroutinefunction(
+            self.executor
+        ):
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self.cpu_executor, self.executor, live)
+        result = self.executor(live)
+        if inspect.isawaitable(result):
+            return await result
+        return result
+
+    async def _run(self, batch: List[PendingRequest]) -> int:
+        """Execute one formed batch; returns how many requests it covered.
+
+        Cancelled slots are dropped (never scored) and requests past their
+        deadline are failed before scoring — load is shed at the cheapest
+        possible point.
+        """
+        now = self._clock()
+        live: List[PendingRequest] = []
+        for pending in batch:
+            if pending.cancelled:
+                self.cancelled_requests += 1
+                if self.telemetry is not None:
+                    self.telemetry.record_cancelled()
+                continue
+            if pending.deadline_at is not None and now >= pending.deadline_at:
+                self.deadline_misses += 1
+                if self.telemetry is not None:
+                    self.telemetry.record_deadline_miss()
+                pending._fail(
+                    DeadlineExceededError(
+                        f"request waited {now - pending.enqueued_at:.4f}s, "
+                        f"past its deadline"
+                    ),
+                    now,
                 )
+                continue
+            live.append(pending)
+        if not live:
+            return len(batch)
+        started = self._clock()
+        try:
+            results = await self._call_executor(live)
+            if len(results) != len(live):
+                raise RuntimeError(
+                    f"executor returned {len(results)} results "
+                    f"for a batch of {len(live)}"
+                )
+        except asyncio.CancelledError:
+            completed = self._clock()
+            for pending in live:
+                pending._fail(asyncio.CancelledError("scheduler stopped"), completed)
+            raise
         except BaseException as error:  # propagate to all waiters, keep serving
-            completed = now()
-            for pending in batch:
+            completed = self._clock()
+            for pending in live:
                 pending._fail(error, completed)
-            with self._lock:
-                self.execute_latencies_s.append(max(0.0, completed - started))
-            return
-        completed = now()
-        for pending, value in zip(batch, results):
+            self.execute_latencies_s.append(max(0.0, completed - started))
+            return len(batch)
+        completed = self._clock()
+        for pending, value in zip(live, results):
             if isinstance(value, BaseException):
                 pending._fail(value, completed)
             else:
                 pending._complete(value, completed)
-        with self._lock:  # _run can race between submit() and the poll thread
-            self.batches_dispatched += 1
-            self.requests_dispatched += len(batch)
-            self.execute_latencies_s.append(max(0.0, completed - started))
+        self.batches_dispatched += 1
+        self.requests_dispatched += len(live)
+        self.execute_latencies_s.append(max(0.0, completed - started))
+        return len(batch)
 
+    async def poll(self) -> int:
+        """Dispatch batches whose size or deadline trigger fired."""
+        self._bind_running_loop()
+        dispatched = 0
+        while self._due(self._clock()):
+            dispatched += await self._run(self._take())
+        return dispatched
+
+    async def flush(self) -> int:
+        """Dispatch everything queued regardless of deadlines."""
+        self._bind_running_loop()
+        dispatched = 0
+        while self._queue:
+            dispatched += await self._run(self._take())
+        return dispatched
+
+    # ------------------------------------------------------------------ #
+    # The drive loop (one task per scheduler, replaces the poll thread)
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Ensure the deadline-driving task runs on the current loop."""
+        loop = self._bind_running_loop()
+        if self._drive_task is None or self._drive_task.done():
+            self._drive_task = loop.create_task(
+                self._drive(), name="async-batch-scheduler"
+            )
+
+    async def _drive(self) -> None:
+        while True:
+            if not self._queue:
+                self._wake.clear()
+                if self._queue:  # lost race: enqueued between check and clear
+                    continue
+                await self._wake.wait()
+                continue
+            now = self._clock()
+            if self._due(now):
+                await self._run(self._take())
+                continue
+            delay = max(0.0, self.max_wait_s - (now - self._queue[0].enqueued_at))
+            self._wake.clear()
+            target = self._loop.time() + delay
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                # The sleep ran its full deadline: anything beyond it is the
+                # event loop running late (too much work between awaits).
+                lag = self._loop.time() - target
+                if self.telemetry is not None and lag > 0:
+                    self.telemetry.record_loop_lag(lag)
+
+    async def stop(self, drain: bool = True) -> None:
+        """Cancel the drive task; drain (default) or cancel in-flight work.
+
+        Parked admission waiters (``overload="wait"`` submitters) are
+        cancelled — their ``submit`` raises :class:`asyncio.CancelledError`
+        instead of enqueueing into a scheduler that no longer dispatches.
+        """
+        if self._drive_task is not None:
+            self._drive_task.cancel()
+            try:
+                await self._drive_task
+            except asyncio.CancelledError:
+                pass
+            self._drive_task = None
+        if drain:
+            while self._queue or self._waiters or self._reserved:
+                self._cancel_waiters()
+                await self.flush()
+                # A waiter the drain released before we cancelled (it holds
+                # a reserved slot) resumes on the next tick and enqueues;
+                # give it that tick, then sweep again until nothing is
+                # queued, parked, or holding a granted slot.
+                await asyncio.sleep(0)
+        else:
+            while self._queue or self._waiters or self._reserved:
+                self._cancel_waiters()
+                while self._queue:
+                    pending = self._queue.popleft()
+                    if pending.cancel():
+                        self.cancelled_requests += 1
+                await asyncio.sleep(0)
+
+    def _cancel_waiters(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.cancel()
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
     def stats(self) -> dict:
         """Dispatch-side counters + executor wall-time percentiles (ms).
 
@@ -147,10 +535,7 @@ class BatchScheduler:
         the sharded gateway that is the scatter/gather round trip, which the
         per-shard telemetry then decomposes shard by shard.
         """
-        with self._lock:
-            latencies = list(self.execute_latencies_s)
-            batches = self.batches_dispatched
-            requests = self.requests_dispatched
+        latencies = list(self.execute_latencies_s)
         if latencies:
             ordered = sorted(latencies)
             p50 = ordered[len(ordered) // 2] * 1e3
@@ -159,60 +544,175 @@ class BatchScheduler:
         else:
             p50 = p95 = mean = float("nan")
         return {
-            "batches_dispatched": float(batches),
-            "requests_dispatched": float(requests),
+            "batches_dispatched": float(self.batches_dispatched),
+            "requests_dispatched": float(self.requests_dispatched),
             "mean_execute_ms": mean,
             "p50_execute_ms": p50,
             "p95_execute_ms": p95,
+            "overload_rejections": float(self.overload_rejections),
+            "deadline_misses": float(self.deadline_misses),
+            "cancelled_requests": float(self.cancelled_requests),
+            "max_queue_depth": float(self.max_queue_depth),
         }
 
+
+class BatchScheduler:
+    """Synchronous facade over :class:`AsyncBatchScheduler` (the PR-1 API).
+
+    ``submit`` / ``poll`` / ``flush`` drive the async core to completion on
+    a private event loop, so explicit-poll callers (tests, benches, the
+    deterministic FakeClock suites) see the exact PR-1 semantics — full
+    batches dispatch inside ``submit``, ``poll`` honours the oldest
+    request's deadline.  :meth:`start` runs the core's drive task on a
+    single background loop thread (replacing the PR-1 poll thread); every
+    producer-thread call is then marshalled onto that loop, keeping all
+    scheduler state loop-confined.
+    """
+
+    def __init__(
+        self,
+        executor: Callable[[Sequence[PendingRequest]], Sequence[Any]],
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+        **async_kwargs,
+    ) -> None:
+        self.async_scheduler = AsyncBatchScheduler(
+            executor,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            clock=clock,
+            **async_kwargs,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        # Legacy multi-threaded producers may drive poll/flush concurrently;
+        # the private loop can only run one coroutine at a time, so sync
+        # driving serialises here (the background/async paths never take it).
+        self._sync_lock = threading.Lock()
+
+    # Delegated configuration / counters (the PR-1 attribute surface).
+    @property
+    def executor(self):
+        return self.async_scheduler.executor
+
+    @property
+    def max_batch_size(self) -> int:
+        return self.async_scheduler.max_batch_size
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.async_scheduler.max_wait_s
+
+    @property
+    def pending_count(self) -> int:
+        return self.async_scheduler.pending_count
+
+    @property
+    def batches_dispatched(self) -> int:
+        return self.async_scheduler.batches_dispatched
+
+    @property
+    def requests_dispatched(self) -> int:
+        return self.async_scheduler.requests_dispatched
+
+    @property
+    def execute_latencies_s(self) -> List[float]:
+        return self.async_scheduler.execute_latencies_s
+
+    def stats(self) -> dict:
+        return self.async_scheduler.stats()
+
+    # ------------------------------------------------------------------ #
+    # Driving the async core from synchronous callers
+    # ------------------------------------------------------------------ #
+    def _own_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None or self._loop.is_closed():
+            self._loop = asyncio.new_event_loop()
+        return self._loop
+
+    def _background(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run_sync(self, factory: Callable[[], Any]) -> Any:
+        """Run one core coroutine to completion from the calling thread."""
+        if self._background():
+            return asyncio.run_coroutine_threadsafe(factory(), self._loop).result()
+        with self._sync_lock:
+            return self._own_loop().run_until_complete(factory())
+
+    def submit(
+        self, query_id: int, k: int, deadline_s: Optional[float] = None
+    ) -> PendingRequest:
+        """Enqueue one request; dispatches immediately on a full batch."""
+        core = self.async_scheduler
+        if self._background():
+            return self._run_sync(lambda: core.submit(query_id, k, deadline_s))
+        # Fail a cross-loop mistake (sync call while the core serves a live
+        # async loop) BEFORE enqueueing, so no phantom request is left in
+        # the foreign loop's queue.
+        core.check_rebind(self._loop)
+        pending = core.submit_nowait(query_id, k, deadline_s)
+        if core.pending_count >= core.max_batch_size:
+            self._run_sync(core.poll)
+        return pending
+
     def poll(self) -> int:
-        """Dispatch batches whose size or deadline trigger fired; returns #requests."""
-        dispatched = 0
-        while True:
-            with self._lock:
-                if not self._queue:
-                    return dispatched
-                full = len(self._queue) >= self.max_batch_size
-                overdue = self._clock() - self._queue[0].enqueued_at >= self.max_wait_s
-                if not (full or overdue):
-                    return dispatched
-                batch = self._take_locked()
-            self._run(batch)
-            dispatched += len(batch)
+        """Dispatch batches whose size or deadline trigger fired."""
+        return self._run_sync(self.async_scheduler.poll)
 
     def flush(self) -> int:
-        """Dispatch everything queued regardless of deadlines; returns #requests."""
-        dispatched = 0
-        while True:
-            with self._lock:
-                if not self._queue:
-                    return dispatched
-                batch = self._take_locked()
-            self._run(batch)
-            dispatched += len(batch)
+        """Dispatch everything queued regardless of deadlines."""
+        return self._run_sync(self.async_scheduler.flush)
 
     # ------------------------------------------------------------------ #
-    # Optional background deadline driver
+    # Background deadline driver (one loop thread, not one thread per wait)
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        """Start a daemon thread that keeps deadlines honoured."""
-        if self._worker is not None and self._worker.is_alive():
+        """Run the core's drive task on a background event-loop thread."""
+        if self._background():
             return
-        self._stop.clear()
-        interval = max(self.max_wait_s / 4.0, 1e-4)
+        loop = self._own_loop()
+        ready = threading.Event()
 
-        def _loop() -> None:
-            while not self._stop.wait(interval):
-                self.poll()
+        def _serve() -> None:
+            asyncio.set_event_loop(loop)
+            loop.call_soon(ready.set)
+            loop.run_forever()
 
-        self._worker = threading.Thread(target=_loop, name="batch-scheduler", daemon=True)
-        self._worker.start()
+        self._thread = threading.Thread(
+            target=_serve, name="batch-scheduler", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=5.0)
+
+        async def _start() -> None:
+            self.async_scheduler.start()
+
+        asyncio.run_coroutine_threadsafe(_start(), loop).result(timeout=5.0)
 
     def stop(self) -> None:
-        """Stop the background thread and drain the queue."""
-        self._stop.set()
-        if self._worker is not None:
-            self._worker.join(timeout=1.0)
-            self._worker = None
+        """Stop the background loop thread and drain the queue."""
+        if self._background():
+            asyncio.run_coroutine_threadsafe(
+                self.async_scheduler.stop(), self._loop
+            ).result(timeout=30.0)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+        self._thread = None
         self.flush()
+
+    def close(self) -> None:
+        """Release the private loop; the scheduler is unusable afterwards."""
+        if self._background():
+            self.stop()
+        if self._loop is not None and not self._loop.is_closed():
+            if not self._loop.is_running():
+                self._loop.close()
+            self._loop = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass

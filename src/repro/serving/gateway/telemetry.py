@@ -11,12 +11,19 @@ records one :meth:`GatewayTelemetry.record_shard` sample per worker (shard
 wall time, queries scored, candidates contributed to the gather), and
 :meth:`GatewayTelemetry.shard_rows` condenses them into per-shard
 latency/QPS breakdowns whose totals add up to the gateway-level counters.
+
+The asyncio-native request path adds the loop-front-end dimension: queue
+depth at admission (the backpressure signal), overload rejections and
+deadline misses (the two ways a request is shed before scoring), cancelled
+requests, and event-loop lag (how late the drive task's deadline sleeps
+fire — the canary for CPU work blocking the loop).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -25,14 +32,19 @@ import numpy as np
 class GatewayTelemetry:
     """Mutable counters and reservoirs behind the gateway's metrics.
 
-    Recording is lock-protected: with the background scheduler thread
-    running, ``record_*`` can race a producer thread's full-batch dispatch,
-    and the ``+=`` read-modify-writes would silently drop counts.
+    ``thread_safe=True`` (the default) lock-protects every ``record_*``:
+    with the background scheduler thread running, recording can race a
+    producer thread's full-batch dispatch, and the ``+=``
+    read-modify-writes would silently drop counts.  The asyncio-native
+    gateway confines all recording to one event loop, where the lock is
+    per-request overhead for nothing; ``thread_safe=False`` swaps it for a
+    no-op :func:`~contextlib.nullcontext`.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 thread_safe: bool = True) -> None:
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = threading.Lock() if thread_safe else nullcontext()
         self.reset()
 
     def reset(self) -> None:
@@ -51,6 +63,15 @@ class GatewayTelemetry:
         self.shard_queries: Dict[int, int] = {}
         self.shard_candidates: Dict[int, int] = {}
         self.gathered_candidates = 0
+        self.overload_rejections = 0
+        self.deadline_misses = 0
+        self.cancelled_requests = 0
+        self.queue_depth_sum = 0
+        self.queue_depth_samples = 0
+        self.queue_depth_max = 0
+        self.loop_lag_s_sum = 0.0
+        self.loop_lag_s_max = 0.0
+        self.loop_lag_samples = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -100,6 +121,37 @@ class GatewayTelemetry:
             )
             self.gathered_candidates += int(candidates)
 
+    # Loop-front-end events (admission control, deadlines, the drive task).
+    def record_overload(self) -> None:
+        with self._lock:
+            self.overload_rejections += 1
+
+    def record_deadline_miss(self) -> None:
+        with self._lock:
+            self.deadline_misses += 1
+
+    def record_cancelled(self) -> None:
+        with self._lock:
+            self.cancelled_requests += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Queue depth observed at one admission (scalar running stats)."""
+        depth = int(depth)
+        with self._lock:
+            self.queue_depth_sum += depth
+            self.queue_depth_samples += 1
+            if depth > self.queue_depth_max:
+                self.queue_depth_max = depth
+
+    def record_loop_lag(self, lag_s: float) -> None:
+        """How late one deadline sleep fired (event-loop scheduling lag)."""
+        lag_s = float(lag_s)
+        with self._lock:
+            self.loop_lag_s_sum += lag_s
+            self.loop_lag_samples += 1
+            if lag_s > self.loop_lag_s_max:
+                self.loop_lag_s_max = lag_s
+
     # ------------------------------------------------------------------ #
     # Aggregation
     # ------------------------------------------------------------------ #
@@ -121,6 +173,18 @@ class GatewayTelemetry:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def queue_depth_mean(self) -> float:
+        if not self.queue_depth_samples:
+            return 0.0
+        return self.queue_depth_sum / self.queue_depth_samples
+
+    @property
+    def loop_lag_mean_s(self) -> float:
+        if not self.loop_lag_samples:
+            return 0.0
+        return self.loop_lag_s_sum / self.loop_lag_samples
 
     def latency_ms(self, percentile: float) -> float:
         if not self.latencies_s:
@@ -173,4 +237,11 @@ class GatewayTelemetry:
             "hot_swaps": float(self.swaps),
             "recall_at_k": float("nan") if self.recall_at_k is None else self.recall_at_k,
             "gathered_candidates": float(self.gathered_candidates),
+            "overload_rejections": float(self.overload_rejections),
+            "deadline_misses": float(self.deadline_misses),
+            "cancelled_requests": float(self.cancelled_requests),
+            "queue_depth_mean": float(self.queue_depth_mean),
+            "queue_depth_max": float(self.queue_depth_max),
+            "loop_lag_mean_ms": float(self.loop_lag_mean_s * 1e3),
+            "loop_lag_max_ms": float(self.loop_lag_s_max * 1e3),
         }

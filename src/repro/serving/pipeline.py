@@ -33,6 +33,16 @@ Three scoring modes are supported:
   exactly.  For the full multi-process deployment (worker pool, two-phase
   hot-swap, per-shard telemetry) use
   :func:`repro.serving.gateway.deploy_gateway` with ``num_shards > 1``.
+
+For *concurrent* serving use the gateway tier directly: every gateway
+returned by :func:`repro.serving.gateway.deploy_gateway` is asyncio-native —
+``await gateway.search_async(query_id)`` holds thousands of in-flight
+requests as futures on one event loop at the same micro-batch deadlines,
+with bounded-queue admission control, per-request deadline shedding and
+cooperative cancellation; the synchronous ``rank`` / ``search`` surface this
+pipeline shares is a thin wrapper over that same async core.  See
+``src/repro/serving/README.md`` for the layered architecture and when to
+pick each scoring mode.
 """
 
 from __future__ import annotations

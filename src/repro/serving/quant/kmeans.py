@@ -11,6 +11,14 @@ assignment step uses the expanded-distance identity
 so each iteration is one BLAS matmul instead of a pairwise-distance tensor.
 Empty cells are re-seeded on a random point, which keeps all ``k`` centroids
 live even on degenerate inputs (fewer distinct points than cells).
+
+Initialisation defaults to **k-means++** (the ROADMAP's "smarter PQ
+codebooks" first step): each successive seed is sampled proportionally to
+its squared distance from the seeds chosen so far, which spreads the
+codebook across the data instead of betting on a lucky uniform draw.  With
+the few Lloyd iterations the quantizers run, the init quality carries
+straight into ADC recall at the same code budget; ``init="random"`` keeps
+the PR-2 behaviour for A/B comparisons.
 """
 
 from __future__ import annotations
@@ -21,15 +29,45 @@ import numpy as np
 
 RngLike = Union[int, np.random.Generator]
 
+INIT_KINDS = ("kmeans++", "random")
+
+
+def _kmeanspp_init(points: np.ndarray, num_clusters: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """D²-weighted seeding (Arthur & Vassilvitskii), one matvec per seed.
+
+    Maintains the running squared distance to the nearest chosen seed and
+    samples the next seed proportionally to it; duplicate-heavy inputs
+    (total mass zero) fall back to uniform draws so ``k`` seeds always
+    come back.
+    """
+    num_points = points.shape[0]
+    sq_norms = np.sum(points ** 2, axis=1)
+    chosen = np.empty(num_clusters, dtype=np.int64)
+    chosen[0] = rng.integers(num_points)
+    d2 = sq_norms + sq_norms[chosen[0]] - 2.0 * (points @ points[chosen[0]])
+    np.maximum(d2, 0.0, out=d2)
+    for seed in range(1, num_clusters):
+        total = float(d2.sum())
+        if total <= 0.0:  # all remaining points coincide with a chosen seed
+            chosen[seed] = rng.integers(num_points)
+        else:
+            chosen[seed] = rng.choice(num_points, p=d2 / total)
+        candidate = sq_norms + sq_norms[chosen[seed]] - 2.0 * (points @ points[chosen[seed]])
+        np.minimum(d2, np.maximum(candidate, 0.0), out=d2)
+    return points[chosen].copy()
+
 
 def kmeans(points: np.ndarray, num_clusters: int, iters: int = 8,
-           rng: RngLike = 0) -> Tuple[np.ndarray, np.ndarray]:
+           rng: RngLike = 0, init: str = "kmeans++") -> Tuple[np.ndarray, np.ndarray]:
     """Cluster ``points`` into ``num_clusters`` cells.
 
     Returns ``(centroids, assignment)`` where ``centroids`` has shape
     ``(num_clusters, dim)`` in the input dtype's float flavour and
     ``assignment`` maps each point to its final cell (``int64``).
-    ``num_clusters`` is clamped to the number of points.
+    ``num_clusters`` is clamped to the number of points.  ``init`` picks the
+    seeding strategy: ``"kmeans++"`` (default, D²-weighted) or ``"random"``
+    (uniform without replacement, the PR-2 behaviour).
     """
     points = np.asarray(points)
     if points.ndim != 2:
@@ -38,11 +76,17 @@ def kmeans(points: np.ndarray, num_clusters: int, iters: int = 8,
         raise ValueError("num_clusters must be positive")
     if iters <= 0:
         raise ValueError("iters must be positive")
+    if init not in INIT_KINDS:
+        known = ", ".join(INIT_KINDS)
+        raise ValueError(f"unknown init {init!r} (known: {known})")
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
     num_points = points.shape[0]
     num_clusters = min(num_clusters, num_points)
-    centroids = points[rng.choice(num_points, size=num_clusters, replace=False)].copy()
+    if init == "kmeans++":
+        centroids = _kmeanspp_init(points, num_clusters, rng)
+    else:
+        centroids = points[rng.choice(num_points, size=num_clusters, replace=False)].copy()
     assignment = np.zeros(num_points, dtype=np.int64)
     for _ in range(iters):
         affinity = points @ centroids.T - 0.5 * np.sum(centroids ** 2, axis=1)

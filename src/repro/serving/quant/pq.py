@@ -33,7 +33,8 @@ class ProductQuantizer:
     """k-means-trained sub-space codebooks with uint8 codes."""
 
     def __init__(self, num_subspaces: int = 8, num_centroids: int = 256,
-                 kmeans_iters: int = 10, seed: int = 0) -> None:
+                 kmeans_iters: int = 10, seed: int = 0,
+                 init: str = "kmeans++") -> None:
         if num_subspaces <= 0:
             raise ValueError("num_subspaces must be positive")
         if not 1 < num_centroids <= 256:
@@ -42,6 +43,7 @@ class ProductQuantizer:
         self.num_centroids = num_centroids
         self.kmeans_iters = kmeans_iters
         self.seed = seed
+        self.init = init
         self.dim_: Optional[int] = None
         self.padded_dim_: Optional[int] = None
         self.codebooks_: Optional[np.ndarray] = None  # (M, K, dsub) float32
@@ -65,7 +67,8 @@ class ProductQuantizer:
         )
         for m in range(self.num_subspaces):
             sub = vectors[:, m * dsub:(m + 1) * dsub].astype(np.float64)
-            centroids, _ = kmeans(sub, num_centroids, iters=self.kmeans_iters, rng=rng)
+            centroids, _ = kmeans(sub, num_centroids, iters=self.kmeans_iters,
+                                  rng=rng, init=self.init)
             codebooks[m] = centroids.astype(np.float32)
         self.codebooks_ = codebooks
         return self
@@ -191,11 +194,11 @@ class PQTable:
 
 def quantize_pq(vectors: np.ndarray, num_subspaces: int = 8,
                 num_centroids: int = 256, kmeans_iters: int = 10,
-                seed: int = 0) -> PQTable:
+                seed: int = 0, init: str = "kmeans++") -> PQTable:
     """Fit + encode one float table into an immutable :class:`PQTable`."""
     quantizer = ProductQuantizer(
         num_subspaces=num_subspaces, num_centroids=num_centroids,
-        kmeans_iters=kmeans_iters, seed=seed,
+        kmeans_iters=kmeans_iters, seed=seed, init=init,
     ).fit(vectors)
     codes = quantizer.encode(vectors)
     codes.setflags(write=False)

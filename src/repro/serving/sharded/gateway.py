@@ -95,13 +95,27 @@ class ShardedGateway(ServingGateway):
         consistency violation and fails the batch.
         """
         replies = self.pool.search(snapshot.version, query_matrix, k)
+        return self._merge_replies(snapshot, query_matrix.shape[0], replies, k)
+
+    async def _search_backend_async(
+        self, snapshot, query_matrix: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The asyncio-native scatter/gather: shard work overlaps via the
+        event loop (executor futures for in-process workers, pipe-fd readers
+        for the process backend) instead of a thread fan-out, then the same
+        exact merge and version check as the sync path."""
+        replies = await self.pool.search_async(snapshot.version, query_matrix, k)
+        return self._merge_replies(snapshot, query_matrix.shape[0], replies, k)
+
+    def _merge_replies(
+        self, snapshot, num_queries: int, replies, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         served = {reply.version for reply in replies}
         if served != {snapshot.version}:
             raise RuntimeError(
                 f"mixed-version gather: pinned v{snapshot.version}, "
                 f"shards served {sorted(served)}"
             )
-        num_queries = query_matrix.shape[0]
         for reply in replies:
             self.telemetry.record_shard(
                 reply.shard,

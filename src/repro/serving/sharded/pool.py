@@ -27,6 +27,7 @@ host actually has more than one CPU and threads otherwise.
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import os
 import threading
@@ -105,6 +106,17 @@ class WorkerPool:
 
     def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
         raise NotImplementedError
+
+    async def search_async(
+        self, version: int, queries: np.ndarray, k: int
+    ) -> List[ShardReply]:
+        """Async scatter/gather; the base runs the sync scatter inline.
+
+        The serial backend has nothing to overlap, so inline is exact; the
+        thread and process backends override this so per-shard work overlaps
+        on the caller's event loop instead of a thread fan-out.
+        """
+        return self.search(version, queries, k)
 
     def close(self) -> None:
         """Release every worker resource; idempotent."""
@@ -192,6 +204,22 @@ class ThreadPool(SerialPool):
             for worker in self.workers
         ]
         return [future.result() for future in futures]
+
+    async def search_async(
+        self, version: int, queries: np.ndarray, k: int
+    ) -> List[ShardReply]:
+        """Per-shard scans overlap as loop-awaited executor futures."""
+        loop = asyncio.get_running_loop()
+        return list(
+            await asyncio.gather(
+                *(
+                    loop.run_in_executor(
+                        self._executor, self._one, worker, version, queries, k
+                    )
+                    for worker in self.workers
+                )
+            )
+        )
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -365,6 +393,7 @@ class ProcessPool(WorkerPool):
 
     def _broadcast(self, message, expect: str) -> List[tuple]:
         with self._io_lock:
+            self._drain_stale()
             for conn in self._conns:
                 conn.send(message)
             replies = self._recv_all()
@@ -400,6 +429,7 @@ class ProcessPool(WorkerPool):
                 metas["int8_scales"] = meta
                 segments.append(segment)
             with self._io_lock:
+                self._drain_stale()
                 for shard, conn in enumerate(self._conns):
                     lo = int(snapshot.shard_bounds[shard])
                     hi = int(snapshot.shard_bounds[shard + 1])
@@ -428,9 +458,14 @@ class ProcessPool(WorkerPool):
     def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
         queries = np.ascontiguousarray(queries)
         with self._io_lock:
+            self._drain_stale()
             for conn in self._conns:
                 conn.send(("search", version, int(k), queries))
             raw_replies = self._recv_all()
+        return self._replies_from_raw(raw_replies)
+
+    @staticmethod
+    def _replies_from_raw(raw_replies: List[tuple]) -> List[ShardReply]:
         replies = []
         for shard, reply in enumerate(raw_replies):
             tag, ids, scores, served_version, latency_s = reply
@@ -446,6 +481,107 @@ class ProcessPool(WorkerPool):
                 )
             )
         return replies
+
+    # ------------------------------------------------------------------ #
+    # Async scatter/gather: the framed-pipe cycle driven by loop readers
+    # ------------------------------------------------------------------ #
+    async def _recv_raw_async(self, shard: int) -> tuple:
+        """One raw reply, awaited through ``loop.add_reader``.
+
+        The loop watches the pipe's fd and wakes this coroutine when the
+        worker's reply frame lands, so the event loop never parks a thread
+        on a blocking ``recv`` — replies from all shards are awaited
+        concurrently and arrive in whatever order the workers finish.
+        """
+        conn = self._conns[shard]
+        loop = asyncio.get_running_loop()
+        readable = loop.create_future()
+        fd = conn.fileno()
+
+        def _on_readable() -> None:
+            if not readable.done():
+                readable.set_result(None)
+
+        loop.add_reader(fd, _on_readable)
+        try:
+            await asyncio.wait_for(readable, timeout=self.timeout_s)
+        except asyncio.TimeoutError:
+            raise RuntimeError(
+                f"shard worker {shard} did not reply within {self.timeout_s:.1f}s"
+            ) from None
+        finally:
+            loop.remove_reader(fd)
+        # The fd firing only guarantees the frame *started* arriving; the
+        # recv (frame completion + unpickling) runs off-loop so a large
+        # top-K reply never stalls admission or the other shards' readers.
+        return await loop.run_in_executor(None, conn.recv)
+
+    async def _recv_all_async(self) -> List[tuple]:
+        """Drain one reply per worker BEFORE raising, keeping pipes paired."""
+        gathered = await asyncio.gather(
+            *(self._recv_raw_async(shard) for shard in range(self.num_shards)),
+            return_exceptions=True,
+        )
+        for shard, reply in enumerate(gathered):
+            if isinstance(reply, BaseException):
+                raise reply
+        return [self._checked(shard, reply) for shard, reply in enumerate(gathered)]
+
+    async def search_async(
+        self, version: int, queries: np.ndarray, k: int
+    ) -> List[ShardReply]:
+        """Scatter on the loop; per-shard replies overlap via fd readers.
+
+        The pipe pairing contract still holds: the command/reply cycle runs
+        under ``_io_lock`` (acquired off-loop so a concurrent sync caller —
+        a hot-swap preparing tables, a legacy thread dispatch — never stalls
+        the event loop while it holds the pipes), and the *whole* cycle is
+        shielded from caller cancellation: once the scatter was sent, the
+        workers' reply frames must be drained — abandoning them would hand
+        the next cycle stale replies.  The shielded cycle finishes (bounded
+        by ``timeout_s``), releases the pipes, and only then does the
+        cancellation surface to the caller.
+        """
+        queries = np.ascontiguousarray(queries)
+        return await asyncio.shield(self._search_cycle(queries, version, int(k)))
+
+    async def _search_cycle(
+        self, queries: np.ndarray, version: int, k: int
+    ) -> List[ShardReply]:
+        loop = asyncio.get_running_loop()
+        acquire = loop.run_in_executor(None, self._io_lock.acquire)
+        try:
+            await acquire
+        except asyncio.CancelledError:
+            # Only reachable on abrupt loop teardown (the shield's outer
+            # await absorbs caller cancellation): the executor thread still
+            # completes acquire() later, so hand the orphaned hold back.
+            def _release_orphaned(future) -> None:
+                if not future.cancelled():
+                    self._io_lock.release()
+
+            acquire.add_done_callback(_release_orphaned)
+            raise
+        try:
+            self._drain_stale()
+            for conn in self._conns:
+                conn.send(("search", version, k, queries))
+            raw_replies = await self._recv_all_async()
+        finally:
+            self._io_lock.release()
+        return self._replies_from_raw(raw_replies)
+
+    def _drain_stale(self) -> None:
+        """Discard reply frames a torn-down cycle left queued (holding
+        ``_io_lock``).  The protocol is strictly paired, so anything
+        readable before a command is sent is garbage from an aborted
+        predecessor — never a reply this cycle is owed."""
+        for conn in self._conns:
+            try:
+                while conn.poll(0):
+                    conn.recv()
+            except (EOFError, OSError):  # worker died; surface on next recv
+                pass
 
     # ------------------------------------------------------------------ #
     # Shutdown

@@ -78,6 +78,33 @@ class TestKMeans:
             kmeans(points, 0)
         with pytest.raises(ValueError):
             kmeans(points[0], 2)
+        with pytest.raises(ValueError):
+            kmeans(points, 2, init="farthest-point")
+
+    def test_kmeanspp_init_is_deterministic_and_spreads_seeds(self, clustered):
+        _, services = clustered
+        pp1, _ = kmeans(services[:500], 12, iters=4, rng=0, init="kmeans++")
+        pp2, _ = kmeans(services[:500], 12, iters=4, rng=0, init="kmeans++")
+        assert np.array_equal(pp1, pp2)
+        # On clustered data D²-weighted seeding must not collapse: the final
+        # centroids stay pairwise distinct.
+        gram = pp1 @ pp1.T
+        sq = np.diag(gram)
+        dist2 = sq[:, None] + sq[None, :] - 2 * gram
+        np.fill_diagonal(dist2, np.inf)
+        assert dist2.min() > 1e-8
+
+    def test_kmeanspp_raw_adc_recall_does_not_regress(self, clustered, exact_top10):
+        """Raw (un-refined) ADC scan recall with kmeans++ codebooks must not
+        regress against the random-init codebooks it replaces."""
+        queries, services = clustered
+        probe = queries[:256]
+        recalls = {}
+        for init in ("random", "kmeans++"):
+            table = quantize_pq(services, num_subspaces=8, seed=0, init=init)
+            ids = np.argsort(-table.scores(probe), axis=1)[:, :10]
+            recalls[init] = recall_at_k(ids, exact_top10[:256], 10)
+        assert recalls["kmeans++"] >= recalls["random"] - 0.01
 
 
 # --------------------------------------------------------------------- #
