@@ -1,0 +1,202 @@
+"""Benchmark: the gateway-backed online A/B test at serving scale.
+
+The paper's Fig. 10 evidence is a week-long bucket test on live traffic.
+This bench replays that test *through the serving stack*
+(:mod:`repro.serving.abtest`): both buckets are trained models deployed
+behind their own gateway arm (control: the baseline served by an exact
+scan; treatment: GARCIA served through the IVF index), sessions are hashed
+deterministically into a 90/10 control/treatment split, and a
+day-partitioned Zipf/Poisson stream flows open-loop through
+``search_async`` with every request tagged by its bucket.  One run reports
+quality (daily CTR / Valid-CTR improvement) and serving cost (per-bucket
+QPS, p50/p95/p99, deadline misses, shed sessions) from the same traffic.
+
+Full scale: 5 000 sessions/day for 7 days (35 000 routed sessions), the
+tracked ``benchmarks/results/gateway_ab.json`` workload.
+
+Runnable standalone with the uniform bench flags::
+
+    python -m benchmarks.bench_gateway_ab [--smoke] [--seed N] [--out P]
+
+``--smoke`` is the CI gate: fewer days/sessions, the same structural
+floors — both buckets must receive traffic, the per-bucket telemetry must
+sum to the gateway totals, bucket assignment must be reproducible from the
+seed, and the CTR improvement series must be finite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from benchmarks.bench_args import parse_bench_args, require, write_json
+from repro.eval.reporting import format_float_table
+from repro.experiments.common import ExperimentSettings, build_model, scenario_for, train_model
+from repro.serving.abtest import (
+    ABExperimentConfig,
+    BucketRouter,
+    OnlineABExperiment,
+    close_arms,
+)
+from repro.serving.gateway import deploy_gateway
+
+#: Full scale: the tracked results/gateway_ab.json workload (Fig. 10 shape:
+#: one week of bucketed traffic, a 90/10 split like a production holdback).
+FULL = dict(
+    dataset="Sep. A",
+    baseline_model="KGAT",
+    num_days=7,
+    sessions_per_day=5_000,
+    top_k=5,
+    treatment_fraction=0.1,
+    rate_qps=4_000.0,
+    pretrain_epochs=2,
+    finetune_epochs=4,
+)
+#: Smoke scale: small enough for a per-PR CI gate, large enough that both
+#: buckets of a 90/10 split see hundreds of sessions.
+SMOKE = dict(
+    dataset="Sep. A",
+    baseline_model="KGAT",
+    num_days=3,
+    sessions_per_day=600,
+    top_k=5,
+    treatment_fraction=0.1,
+    rate_qps=2_000.0,
+    pretrain_epochs=1,
+    finetune_epochs=2,
+)
+
+
+def assignment_digest(router: BucketRouter, num_sessions: int) -> str:
+    """Stable digest of the whole run's bucket assignment (rerun check)."""
+    indices = router.assign_indices(np.arange(num_sessions, dtype=np.int64))
+    return hashlib.sha256(indices.astype(np.uint8).tobytes()).hexdigest()
+
+
+def build_router(params: dict, seed: int) -> tuple:
+    """Train both buckets' models and deploy them behind gateway arms."""
+    settings = ExperimentSettings(
+        scale="tiny",
+        seed=seed,
+        pretrain_epochs=params["pretrain_epochs"],
+        finetune_epochs=params["finetune_epochs"],
+    )
+    scenario = scenario_for(params["dataset"], settings)
+    baseline = build_model(params["baseline_model"], scenario, settings)
+    train_model(baseline, scenario, settings)
+    garcia = build_model("GARCIA", scenario, settings)
+    train_model(garcia, scenario, settings)
+    fraction = params["treatment_fraction"]
+    arms = {}
+    try:
+        arms["control"] = deploy_gateway(baseline, index="exact",
+                                         top_k=params["top_k"], cache_capacity=0)
+        arms["treatment"] = deploy_gateway(garcia, index="ivf",
+                                           top_k=params["top_k"], cache_capacity=0)
+        router = BucketRouter(
+            {"control": 1.0 - fraction, "treatment": fraction},
+            arms=arms,
+            salt=seed,
+        )
+    except BaseException:
+        for gateway in arms.values():
+            gateway.close()
+        raise
+    return scenario, router
+
+
+def run_bench(params: dict, seed: int) -> dict:
+    # Validate the experiment parameters before any gateway is deployed.
+    config = ABExperimentConfig(
+        num_days=params["num_days"],
+        sessions_per_day=params["sessions_per_day"],
+        top_k=params["top_k"],
+        rate_qps=params["rate_qps"],
+        seed=seed,
+    )
+    scenario, router = build_router(params, seed)
+    try:
+        experiment = OnlineABExperiment(scenario.dataset, scenario.oracle,
+                                        router, config)
+        report = experiment.run()
+        # Gateway-level totals, gathered before the arms close (the
+        # per-bucket sums are gated against these).
+        totals = {"requests": 0.0, "deadline_misses": 0.0,
+                  "overload_rejections": 0.0, "cancelled_requests": 0.0}
+        for gateway in router.unique_arms():
+            summary = gateway.summary()
+            for key in totals:
+                totals[key] += summary[key]
+        num_sessions = params["num_days"] * params["sessions_per_day"]
+        digest = assignment_digest(router, num_sessions)
+        rerun_digest = assignment_digest(
+            BucketRouter(dict(router.splits), salt=seed), num_sessions
+        )
+    finally:
+        close_arms(router)
+    payload = report.as_payload()
+    payload["workload"] = dict(params)
+    payload["seed"] = seed
+    payload["gateway_totals"] = totals
+    payload["assignment_sha256"] = digest
+    payload["assignment_rerun_sha256"] = rerun_digest
+    return payload
+
+
+def main(argv=None):
+    args = parse_bench_args("gateway_ab", __doc__, argv)
+    params = SMOKE if args.smoke else FULL
+    payload = run_bench(params, seed=args.seed)
+    label = "smoke" if args.smoke else "full"
+    print(format_float_table(
+        payload["joint_rows"],
+        title=(f"Gateway A/B ({label}): {params['sessions_per_day']} sessions/day "
+               f"x {params['num_days']} days, "
+               f"{1 - params['treatment_fraction']:.0%}/"
+               f"{params['treatment_fraction']:.0%} split"),
+    ))
+    print("\n" + format_float_table(
+        payload["cost_rows"], title="Per-bucket serving cost (one run)"))
+    summary = payload["summary"]
+    print(f"\nAggregated absolute gains: CTR {summary['absolute_ctr_gain_pp']:+.3f} pp, "
+          f"Valid CTR {summary['absolute_valid_ctr_gain_pp']:+.3f} pp; "
+          f"{int(summary['sessions_shed_total'])} of "
+          f"{int(summary['sessions_total'])} sessions shed")
+    payload["smoke"] = args.smoke
+    write_json(args.out, payload)
+    print(f"wrote {args.out}")
+
+    # Structural gates (both scales): the experiment is only meaningful if
+    # the split actually routed traffic to both buckets, the per-bucket
+    # telemetry decomposes the gateway totals exactly, the hash-based
+    # assignment reproduces from the seed, and the quality series is finite.
+    sessions = payload["sessions"]
+    require(all(sessions[bucket] > 0 for bucket in payload["buckets"]),
+            f"every bucket must receive traffic (got {sessions})")
+    cost = {row["bucket"]: row for row in payload["cost_rows"]}
+    totals = payload["gateway_totals"]
+    bucket_requests = sum(row.get("requests", 0.0) for row in cost.values())
+    require(bucket_requests == totals["requests"],
+            f"per-bucket telemetry must sum to gateway totals "
+            f"({bucket_requests} vs {totals['requests']})")
+    bucket_shed = sum(row.get("deadline_misses", 0.0)
+                      + row.get("overload_rejections", 0.0)
+                      for row in cost.values())
+    require(bucket_shed == totals["deadline_misses"] + totals["overload_rejections"],
+            "per-bucket shed counters must sum to gateway totals")
+    require(payload["assignment_sha256"] == payload["assignment_rerun_sha256"],
+            "bucket assignment must be identical across reruns at one seed")
+    improvements = payload["ctr_improvement_pct"] + payload["valid_ctr_improvement_pct"]
+    require(all(np.isfinite(value) for value in improvements),
+            f"CTR improvement series must be finite (got {improvements})")
+    require(all(np.isfinite(cost[bucket].get("p99_ms", float("nan")))
+                and cost[bucket].get("qps", 0.0) > 0
+                for bucket in payload["buckets"]),
+            "every bucket must report finite p99 and positive QPS")
+    print("bench gates passed")
+
+
+if __name__ == "__main__":
+    main()

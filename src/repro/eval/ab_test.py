@@ -11,6 +11,7 @@ clicks and in-service conversions.
 
 from __future__ import annotations
 
+import datetime
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -38,6 +39,17 @@ class ABTestConfig:
             raise ValueError("position_bias must cover every slot of the top-K list")
 
 
+def date_label(start_date: str, offset: int) -> str:
+    """``YYYY/MM/DD`` label ``offset`` days after ``start_date``.
+
+    Real calendar arithmetic, so a test window crossing a month (or year)
+    boundary still labels every day with a date that exists.
+    """
+    year, month, day = (int(part) for part in start_date.split("/"))
+    date = datetime.date(year, month, day) + datetime.timedelta(days=offset)
+    return f"{date.year:04d}/{date.month:02d}/{date.day:02d}"
+
+
 @dataclass
 class BucketDailyMetrics:
     """One bucket's raw counters for one day."""
@@ -53,6 +65,37 @@ class BucketDailyMetrics:
     @property
     def valid_ctr(self) -> float:
         return self.conversions / self.impressions if self.impressions else float("nan")
+
+
+def simulate_impressions(
+    oracle: ClickOracle,
+    query_id: int,
+    ranked: Sequence[int],
+    position_bias: Sequence[float],
+    rng: np.random.Generator,
+    metrics: BucketDailyMetrics,
+) -> None:
+    """Score one session's top-K list against the click oracle.
+
+    One impression per shown slot; the oracle's click probability is
+    discounted by the slot's position bias, and a conversion requires a
+    click first.  The counters accumulate into ``metrics`` — shared by the
+    offline replay (:class:`OnlineABTest`) and the gateway-backed
+    experiment (:class:`repro.serving.abtest.OnlineABExperiment`), so the
+    two backends cannot drift in how a session becomes clicks.
+    """
+    shown = np.asarray(ranked, dtype=np.int64)
+    if shown.size == 0:
+        return
+    bias = np.asarray(position_bias[: shown.size], dtype=np.float64)
+    query_column = np.full(shown.size, query_id)
+    clicks_p = oracle.click_probability(query_column, shown) * bias
+    clicked = rng.random(shown.size) < clicks_p
+    conversions_p = oracle.conversion_probability(query_column, shown)
+    converted = clicked & (rng.random(shown.size) < conversions_p)
+    metrics.impressions += int(shown.size)
+    metrics.clicks += int(clicked.sum())
+    metrics.conversions += int(converted.sum())
 
 
 @dataclass
@@ -126,7 +169,7 @@ class OnlineABTest:
     def run(self, baseline_ranker, treatment_ranker, start_date: str = "2022/10/01") -> ABTestResult:
         """Run the bucket test and return per-day metrics for both buckets."""
         rng = np.random.default_rng(self.config.seed)
-        days = [self._date_label(start_date, offset) for offset in range(self.config.num_days)]
+        days = [date_label(start_date, offset) for offset in range(self.config.num_days)]
         baseline_days: List[BucketDailyMetrics] = []
         treatment_days: List[BucketDailyMetrics] = []
         for _ in range(self.config.num_days):
@@ -150,23 +193,8 @@ class OnlineABTest:
     def _run_bucket(self, ranker, query_ids: np.ndarray, rng: np.random.Generator) -> BucketDailyMetrics:
         metrics = BucketDailyMetrics()
         top_k = self.config.top_k
-        bias = np.asarray(self.config.position_bias[:top_k], dtype=np.float64)
         for query_id in query_ids:
             ranked = np.asarray(ranker.rank(int(query_id), top_k), dtype=np.int64)
-            if len(ranked) == 0:
-                continue
-            ranked = ranked[:top_k]
-            clicks_p = self.oracle.click_probability(np.full(len(ranked), query_id), ranked)
-            clicks_p = clicks_p * bias[: len(ranked)]
-            clicked = rng.random(len(ranked)) < clicks_p
-            conversions_p = self.oracle.conversion_probability(np.full(len(ranked), query_id), ranked)
-            converted = clicked & (rng.random(len(ranked)) < conversions_p)
-            metrics.impressions += len(ranked)
-            metrics.clicks += int(clicked.sum())
-            metrics.conversions += int(converted.sum())
+            simulate_impressions(self.oracle, int(query_id), ranked[:top_k],
+                                 self.config.position_bias, rng, metrics)
         return metrics
-
-    @staticmethod
-    def _date_label(start_date: str, offset: int) -> str:
-        year, month, day = (int(part) for part in start_date.split("/"))
-        return f"{year:04d}/{month:02d}/{day + offset:02d}"

@@ -20,10 +20,19 @@ same core) plus an LRU+TTL result cache, and serving telemetry.  Its
 scale-out deployment lives in :mod:`repro.serving.sharded`: one worker per
 store shard (serial / thread / process backends) behind a scatter/gather
 gateway with exact top-K merging and per-shard telemetry; the scatter
-overlaps per-shard work on the event loop for async callers.  See
-``src/repro/serving/README.md`` for the layer map.
+overlaps per-shard work on the event loop for async callers.  The
+experimentation tier lives in :mod:`repro.serving.abtest`: deterministic
+bucketed traffic routing over gateway arms with joint CTR + serving-cost
+reporting (the paper's Fig. 10 bucket test replayed *through* the serving
+stack).  See ``src/repro/serving/README.md`` for the layer map.
 """
 
+from repro.serving.abtest import (
+    ABExperimentConfig,
+    BucketRouter,
+    GatewayABReport,
+    OnlineABExperiment,
+)
 from repro.serving.embedding_store import EmbeddingStore
 from repro.serving.feature_extractor import NodeFeatureExtractor, RelationExtractor
 from repro.serving.gateway import (
@@ -37,7 +46,11 @@ from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
 from repro.serving.sharded import ShardedGateway, ShardedRetriever
 
 __all__ = [
+    "ABExperimentConfig",
+    "BucketRouter",
     "EmbeddingStore",
+    "GatewayABReport",
+    "OnlineABExperiment",
     "InnerProductRetriever",
     "ModelScoringRetriever",
     "NodeFeatureExtractor",

@@ -1,0 +1,487 @@
+"""Gateway-backed online A/B experimentation (Fig. 10 at serving scale).
+
+The paper's headline production evidence is a week-long bucket test: a
+fraction of live traffic is routed to GARCIA's bucket, the rest stays on
+the deployed baseline, and the daily relative CTR / Valid-CTR improvement
+is reported (+0.79 pp CTR aggregated).  The offline replay in
+:mod:`repro.eval.ab_test` reproduces the *measurement*; this module
+reproduces the *deployment shape*: buckets are real serving configurations
+behind the gateway tier, traffic is routed by deterministic session-id
+hashing, and the same experiment that moves CTR also moves serving cost —
+QPS, latency percentiles and deadline misses land per bucket in
+:meth:`~repro.serving.gateway.telemetry.GatewayTelemetry.bucket_rows`.
+
+Three pieces:
+
+* :class:`BucketRouter` — config-driven traffic splits (e.g. 90/10
+  control/treatment) with a deterministic, salt-mixed splitmix64 hash of
+  the session/user id, so the same id lands in the same bucket on every
+  rerun, every process, and every replay of the log.  Each bucket routes
+  to its own *arm* — any gateway-like object (single-process, sharded, or
+  one shared gateway for an A/A test; arms may serve different models or
+  the same model under different index/quantization configurations).
+* :class:`OnlineABExperiment` — replays day-partitioned session streams
+  *open-loop* (seeded Poisson arrivals) through ``search_async``, tags
+  every request with its bucket, and scores the returned top-K list
+  against the click oracle with a per-session seeded RNG — so the CTR
+  outcome is independent of async completion order and reproducible from
+  one seed.  Clicks accumulate through the same
+  :func:`repro.eval.ab_test.simulate_impressions` machinery the offline
+  replay uses.
+* :class:`GatewayABReport` — the joint outcome: per-day CTR / Valid-CTR
+  improvement (via :class:`repro.eval.ab_test.ABTestResult`) alongside
+  per-bucket serving cost (QPS, p50/p95/p99, deadline misses, overload
+  rejections, sessions shed before scoring).
+
+Sessions shed by admission control or deadlines produce *no impressions* —
+an under-provisioned treatment bucket loses quality through serving cost,
+which is exactly the coupling the joint report exists to expose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.ab_test import (
+    ABTestResult,
+    BucketDailyMetrics,
+    date_label,
+    simulate_impressions,
+)
+from repro.serving.gateway import DeadlineExceededError, OverloadError
+
+#: Position-bias discounts applied per top-K slot (mirrors ABTestConfig).
+DEFAULT_POSITION_BIAS: Tuple[float, ...] = (1.0, 0.75, 0.55, 0.4, 0.3)
+
+_SPLIT_TOLERANCE = 1e-6
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser: uint64 -> well-mixed uint64.
+
+    Unsigned numpy arithmetic wraps silently, which is exactly the mod-2^64
+    behaviour the constants assume.
+    """
+    z = values + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _salt_to_u64(salt) -> np.uint64:
+    """Any salt (int, str, ...) to one stable uint64 mix-in.
+
+    Python's builtin ``hash`` is randomized per process for strings, so the
+    digest goes through blake2b — the same salt buckets the same ids in
+    every process, which is what makes a routed traffic log replayable.
+    """
+    if isinstance(salt, (int, np.integer)):
+        return np.uint64(int(salt) & 0xFFFFFFFFFFFFFFFF)
+    digest = hashlib.blake2b(str(salt).encode("utf-8"), digest_size=8).digest()
+    return np.uint64(int.from_bytes(digest, "little"))
+
+
+def _ids_to_u64(session_ids: Sequence) -> np.ndarray:
+    """Session/user ids to uint64 hash inputs (ints vectorised, strs hashed)."""
+    array = np.asarray(session_ids)
+    if array.ndim == 0:
+        array = array[None]
+    if np.issubdtype(array.dtype, np.integer):
+        return array.astype(np.int64).view(np.uint64) \
+            if array.dtype == np.int64 else array.astype(np.uint64)
+    return np.fromiter(
+        (
+            int.from_bytes(
+                hashlib.blake2b(str(value).encode("utf-8"), digest_size=8).digest(),
+                "little",
+            )
+            for value in array
+        ),
+        dtype=np.uint64,
+        count=array.size,
+    )
+
+
+class BucketRouter:
+    """Deterministic session-id hashing into config-driven traffic buckets.
+
+    ``splits`` maps bucket name to its traffic fraction (must sum to 1);
+    ``arms`` (optional) maps each bucket to the gateway serving it — two
+    buckets may share one gateway object (an A/A test, separable through
+    per-bucket telemetry tags), or each may own a different model /
+    index / quantization configuration.  ``salt`` decorrelates experiments:
+    the same user population re-buckets independently under a new salt.
+    """
+
+    def __init__(self, splits: Mapping[str, float],
+                 arms: Optional[Mapping[str, object]] = None,
+                 salt=0) -> None:
+        if not splits:
+            raise ValueError("splits must name at least one bucket")
+        fractions = np.asarray(list(splits.values()), dtype=np.float64)
+        if np.any(fractions <= 0):
+            raise ValueError("every bucket's traffic fraction must be positive")
+        if abs(float(fractions.sum()) - 1.0) > _SPLIT_TOLERANCE:
+            raise ValueError(
+                f"traffic fractions must sum to 1.0, got {float(fractions.sum()):.6f}"
+            )
+        self.buckets: Tuple[str, ...] = tuple(splits)
+        self.splits: Dict[str, float] = {
+            name: float(fraction) for name, fraction in splits.items()
+        }
+        # Upper cumulative boundaries; the last is forced to 1.0 so no
+        # float-sum gap can leave a fraction unassigned.
+        self._boundaries = np.cumsum(fractions)
+        self._boundaries[-1] = 1.0
+        self._salt = _splitmix64(np.asarray([_salt_to_u64(salt)]))[0]
+        if arms is not None and set(arms) != set(self.buckets):
+            raise ValueError(
+                f"arms must be keyed exactly by the split buckets "
+                f"{sorted(self.buckets)}, got {sorted(arms)}"
+            )
+        self.arms: Optional[Dict[str, object]] = dict(arms) if arms else None
+
+    def fractions(self, session_ids: Sequence) -> np.ndarray:
+        """Deterministic uniform-[0, 1) hash fraction per session id."""
+        hashed = _splitmix64(_ids_to_u64(session_ids) ^ self._salt)
+        return hashed.astype(np.float64) / float(2**64)
+
+    def assign_indices(self, session_ids: Sequence) -> np.ndarray:
+        """Bucket *index* (into :attr:`buckets`) per session id."""
+        indices = np.searchsorted(self._boundaries, self.fractions(session_ids),
+                                  side="right")
+        return np.minimum(indices, len(self.buckets) - 1)
+
+    def assign_many(self, session_ids: Sequence) -> List[str]:
+        """Bucket name per session id (vectorised hashing)."""
+        return [self.buckets[index] for index in self.assign_indices(session_ids)]
+
+    def assign(self, session_id) -> str:
+        """The bucket one session id deterministically lands in."""
+        return self.buckets[int(self.assign_indices([session_id])[0])]
+
+    def arm(self, bucket: str):
+        """The gateway serving one bucket (requires ``arms``)."""
+        if self.arms is None:
+            raise ValueError("this router was built without arms to route to")
+        try:
+            return self.arms[bucket]
+        except KeyError:
+            raise KeyError(
+                f"unknown bucket {bucket!r} (known: {sorted(self.buckets)})"
+            ) from None
+
+    def route(self, session_id) -> Tuple[str, object]:
+        """``(bucket, gateway)`` for one session id."""
+        bucket = self.assign(session_id)
+        return bucket, self.arm(bucket)
+
+    def unique_arms(self) -> List[object]:
+        """Distinct gateway objects across buckets (shared arms deduped)."""
+        if self.arms is None:
+            return []
+        seen: Dict[int, object] = {}
+        for bucket in self.buckets:
+            gateway = self.arms[bucket]
+            seen.setdefault(id(gateway), gateway)
+        return list(seen.values())
+
+
+@dataclass
+class ABExperimentConfig:
+    """Parameters of one gateway-backed bucket test."""
+
+    num_days: int = 7
+    sessions_per_day: int = 5_000
+    top_k: int = 5
+    #: Open-loop Poisson arrival rate per day's replay; ``None`` submits the
+    #: whole day as one burst (still open loop: nothing waits on completions).
+    rate_qps: Optional[float] = 2_000.0
+    #: Per-request deadline; sessions past it are shed *before* scoring and
+    #: produce no impressions (quality pays for serving cost).
+    deadline_s: Optional[float] = None
+    position_bias: Sequence[float] = DEFAULT_POSITION_BIAS
+    seed: int = 0
+    control: str = "control"
+    treatment: str = "treatment"
+    start_date: str = "2022/10/01"
+
+    def __post_init__(self) -> None:
+        if self.num_days <= 0 or self.sessions_per_day <= 0 or self.top_k <= 0:
+            raise ValueError("num_days, sessions_per_day and top_k must be positive")
+        if len(self.position_bias) < self.top_k:
+            raise ValueError("position_bias must cover every slot of the top-K list")
+        if self.rate_qps is not None and self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive (or None for burst)")
+
+
+@dataclass
+class GatewayABReport:
+    """Joint quality + serving-cost outcome of one bucket test."""
+
+    days: List[str]
+    buckets: Tuple[str, ...]
+    control: str
+    treatment: str
+    #: Per-bucket, per-day click counters (index-aligned with ``days``).
+    daily: Dict[str, List[BucketDailyMetrics]]
+    #: Sessions routed to each bucket (traffic-split ground truth).
+    sessions: Dict[str, int]
+    #: Sessions shed before scoring (overload + deadline), per bucket.
+    shed: Dict[str, int]
+    #: Per-bucket serving-cost rows (gateway telemetry ``bucket_rows``).
+    cost: List[Dict[str, float]] = field(default_factory=list)
+    day_wall_s: List[float] = field(default_factory=list)
+
+    def ab_result(self) -> ABTestResult:
+        """The control/treatment slice in the Fig. 10 result shape."""
+        return ABTestResult(
+            days=list(self.days),
+            baseline=list(self.daily[self.control]),
+            treatment=list(self.daily[self.treatment]),
+        )
+
+    def ctr_improvement(self) -> List[float]:
+        return self.ab_result().ctr_improvement()
+
+    def valid_ctr_improvement(self) -> List[float]:
+        return self.ab_result().valid_ctr_improvement()
+
+    def joint_rows(self) -> List[Dict[str, object]]:
+        """One row per day: both buckets' CTR plus the relative deltas."""
+        result = self.ab_result()
+        ctr_gains = result.ctr_improvement()
+        valid_gains = result.valid_ctr_improvement()
+        rows = []
+        for index, day in enumerate(self.days):
+            control = self.daily[self.control][index]
+            treatment = self.daily[self.treatment][index]
+            rows.append({
+                "day": day,
+                f"{self.control}_ctr": round(control.ctr, 4),
+                f"{self.treatment}_ctr": round(treatment.ctr, 4),
+                "ctr_improvement_pct": round(ctr_gains[index], 3),
+                "valid_ctr_improvement_pct": round(valid_gains[index], 3),
+                f"{self.control}_impressions": control.impressions,
+                f"{self.treatment}_impressions": treatment.impressions,
+            })
+        return rows
+
+    def cost_rows(self) -> List[Dict[str, float]]:
+        """Per-bucket serving cost, enriched with routing/shed counters."""
+        by_bucket = {row["bucket"]: dict(row) for row in self.cost}
+        rows = []
+        for bucket in self.buckets:
+            row = by_bucket.get(bucket, {"bucket": bucket})
+            row["sessions_routed"] = float(self.sessions.get(bucket, 0))
+            row["sessions_shed"] = float(self.shed.get(bucket, 0))
+            rows.append(row)
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers: aggregated gains + total shed traffic."""
+        result = self.ab_result()
+        return {
+            "absolute_ctr_gain_pp": result.absolute_ctr_gain(),
+            "absolute_valid_ctr_gain_pp": result.absolute_valid_ctr_gain(),
+            "sessions_total": float(sum(self.sessions.values())),
+            "sessions_shed_total": float(sum(self.shed.values())),
+            "replay_wall_s": float(sum(self.day_wall_s)),
+        }
+
+    def as_payload(self) -> Dict[str, object]:
+        """JSON-serialisable dump (the bench's results file)."""
+        return {
+            "days": list(self.days),
+            "buckets": list(self.buckets),
+            "control": self.control,
+            "treatment": self.treatment,
+            "joint_rows": self.joint_rows(),
+            "cost_rows": self.cost_rows(),
+            "ctr_improvement_pct": self.ctr_improvement(),
+            "valid_ctr_improvement_pct": self.valid_ctr_improvement(),
+            "sessions": {name: int(count) for name, count in self.sessions.items()},
+            "sessions_shed": {name: int(count) for name, count in self.shed.items()},
+            "summary": self.summary(),
+        }
+
+
+class OnlineABExperiment:
+    """Replay bucketed session traffic through the gateway tier, open-loop.
+
+    ``dataset`` supplies the query-traffic distribution
+    (``query_frequencies``), ``oracle`` decides clicks, and ``router`` maps
+    hashed session ids to the gateways serving each bucket.  Every request
+    goes through ``search_async`` carrying its bucket as a telemetry tag,
+    so one run yields both the Fig. 10 CTR series and the per-bucket
+    QPS/p99/shed breakdown.
+
+    Determinism: bucket assignment is a pure hash of (salt, session id);
+    query sampling and arrival gaps derive from ``config.seed``; and each
+    session's click draw is seeded by ``(seed, day, session id)`` — the CTR
+    outcome does not depend on the order async completions land in.  With
+    unbounded admission and no deadline the whole report is reproducible
+    from one seed; with shedding enabled, *which* sessions are shed is
+    timing-dependent by design (that is the serving-cost coupling).
+    """
+
+    def __init__(self, dataset, oracle, router: BucketRouter,
+                 config: Optional[ABExperimentConfig] = None) -> None:
+        config = config if config is not None else ABExperimentConfig()
+        if router.arms is None:
+            raise ValueError("OnlineABExperiment needs a router with arms "
+                             "(bucket -> gateway)")
+        for role in (config.control, config.treatment):
+            if role not in router.buckets:
+                raise ValueError(
+                    f"config names bucket {role!r} but the router only splits "
+                    f"{sorted(router.buckets)}"
+                )
+        self.dataset = dataset
+        self.oracle = oracle
+        self.router = router
+        self.config = config
+        frequencies = dataset.query_frequencies().astype(np.float64)
+        total = frequencies.sum()
+        if total <= 0:
+            raise ValueError("dataset has no query traffic to replay")
+        self._traffic = frequencies / total
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+    def run(self, start_date: Optional[str] = None) -> GatewayABReport:
+        """Run every day's replay and assemble the joint report."""
+        config = self.config
+        start = config.start_date if start_date is None else start_date
+        days = [date_label(start, offset) for offset in range(config.num_days)]
+        rng = np.random.default_rng(config.seed)
+        daily: Dict[str, List[BucketDailyMetrics]] = {
+            bucket: [] for bucket in self.router.buckets
+        }
+        sessions: Dict[str, int] = {bucket: 0 for bucket in self.router.buckets}
+        shed: Dict[str, int] = {bucket: 0 for bucket in self.router.buckets}
+        day_wall_s: List[float] = []
+        next_session_id = 0
+        for day_index in range(config.num_days):
+            query_ids = rng.choice(
+                len(self._traffic), size=config.sessions_per_day, p=self._traffic
+            )
+            session_ids = np.arange(
+                next_session_id, next_session_id + config.sessions_per_day,
+                dtype=np.int64,
+            )
+            next_session_id += config.sessions_per_day
+            bucket_indices = self.router.assign_indices(session_ids)
+            metrics = {bucket: BucketDailyMetrics() for bucket in self.router.buckets}
+            day_shed = {bucket: 0 for bucket in self.router.buckets}
+            elapsed = asyncio.run(
+                self._replay_day(day_index, session_ids, query_ids,
+                                 bucket_indices, metrics, day_shed)
+            )
+            day_wall_s.append(elapsed)
+            for position, bucket in enumerate(self.router.buckets):
+                daily[bucket].append(metrics[bucket])
+                sessions[bucket] += int((bucket_indices == position).sum())
+                shed[bucket] += day_shed[bucket]
+        return GatewayABReport(
+            days=days,
+            buckets=self.router.buckets,
+            control=config.control,
+            treatment=config.treatment,
+            daily=daily,
+            sessions=sessions,
+            shed=shed,
+            cost=self._gather_cost_rows(),
+            day_wall_s=day_wall_s,
+        )
+
+    async def _replay_day(self, day_index: int, session_ids: np.ndarray,
+                          query_ids: np.ndarray, bucket_indices: np.ndarray,
+                          metrics: Dict[str, BucketDailyMetrics],
+                          day_shed: Dict[str, int]) -> float:
+        """One day's open-loop replay on a fresh event loop."""
+        config = self.config
+        buckets = self.router.buckets
+
+        async def one_session(session_id: int, query_id: int, bucket: str) -> None:
+            gateway = self.router.arm(bucket)
+            try:
+                ids, _ = await gateway.search_async(
+                    int(query_id), k=config.top_k,
+                    deadline_s=config.deadline_s, tag=bucket,
+                )
+            except (OverloadError, DeadlineExceededError):
+                day_shed[bucket] += 1
+                return
+            click_rng = np.random.default_rng(
+                (config.seed, day_index, int(session_id))
+            )
+            simulate_impressions(
+                self.oracle, int(query_id), np.asarray(ids)[: config.top_k],
+                config.position_bias, click_rng, metrics[bucket],
+            )
+
+        gaps: Optional[np.ndarray] = None
+        if config.rate_qps is not None:
+            arrival_rng = np.random.default_rng((config.seed, 7919, day_index))
+            gaps = arrival_rng.exponential(
+                1.0 / config.rate_qps, size=len(session_ids)
+            )
+        loop = asyncio.get_running_loop()
+        next_at = loop.time()
+        tasks = []
+        started = time.perf_counter()
+        try:
+            for position, (session_id, query_id) in enumerate(
+                zip(session_ids, query_ids)
+            ):
+                if gaps is not None:
+                    next_at += float(gaps[position])
+                    delay = next_at - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                bucket = buckets[bucket_indices[position]]
+                tasks.append(
+                    asyncio.ensure_future(one_session(session_id, query_id, bucket))
+                )
+            await asyncio.gather(*tasks)
+            elapsed = time.perf_counter() - started
+        finally:
+            # Each day runs under its own asyncio.run loop; stop every arm's
+            # drive task — even when a session errored — so the scheduler is
+            # idle (and rebindable) at loop exit instead of pinned to a loop
+            # that is about to close.
+            for gateway in self.router.unique_arms():
+                await gateway.stop_async()
+        return elapsed
+
+    def _gather_cost_rows(self) -> List[Dict[str, float]]:
+        """Per-bucket telemetry rows across the (deduplicated) arm gateways."""
+        rows: List[Dict[str, float]] = []
+        for gateway in self.router.unique_arms():
+            rows.extend(gateway.telemetry.bucket_rows())
+        order = {bucket: index for index, bucket in enumerate(self.router.buckets)}
+        return sorted(rows, key=lambda row: order.get(row["bucket"], len(order)))
+
+
+def close_arms(router: BucketRouter) -> None:
+    """Close every distinct arm gateway behind a router (idempotent helper)."""
+    for gateway in router.unique_arms():
+        gateway.close()
+
+
+__all__ = [
+    "ABExperimentConfig",
+    "BucketRouter",
+    "GatewayABReport",
+    "OnlineABExperiment",
+    "close_arms",
+    "DEFAULT_POSITION_BIAS",
+]

@@ -207,12 +207,20 @@ class ServingGateway(SnapshotListener):
     # Request path (async core + sync wrappers)
     # ------------------------------------------------------------------ #
     def submit(self, query_id: int, k: Optional[int] = None,
-               deadline_s: Optional[float] = None) -> PendingRequest:
-        """Enqueue one request for micro-batched execution."""
+               deadline_s: Optional[float] = None,
+               tag: Optional[str] = None) -> PendingRequest:
+        """Enqueue one request for micro-batched execution.
+
+        ``tag`` attributes the request's telemetry (answered latency,
+        deadline miss, overload rejection, cancellation) to a named stream —
+        the experimentation tier passes the A/B bucket here, and
+        :meth:`GatewayTelemetry.bucket_rows` reports per-bucket cost.
+        """
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         return self.scheduler.submit(
-            query_id, k if k is not None else self.top_k, deadline_s=deadline_s)
+            query_id, k if k is not None else self.top_k, deadline_s=deadline_s,
+            tag=tag)
 
     def poll(self) -> int:
         return self.scheduler.poll()
@@ -221,20 +229,21 @@ class ServingGateway(SnapshotListener):
         return self.scheduler.flush()
 
     def search(self, query_id: int, k: Optional[int] = None,
-               deadline_s: Optional[float] = None
-               ) -> Tuple[np.ndarray, np.ndarray]:
+               deadline_s: Optional[float] = None,
+               tag: Optional[str] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Synchronous single search: ``(ids, scores)`` for one query.
 
         A thin wrapper over the async core: the request is admitted to the
         same scheduler queue and executed by the same batch path as
         :meth:`search_async`, driven to completion on the facade's loop.
         """
-        pending = self.submit(query_id, k, deadline_s=deadline_s)
+        pending = self.submit(query_id, k, deadline_s=deadline_s, tag=tag)
         self.scheduler.flush()
         return pending.result()
 
     async def search_async(self, query_id: int, k: Optional[int] = None,
-                           deadline_s: Optional[float] = None
+                           deadline_s: Optional[float] = None,
+                           tag: Optional[str] = None
                            ) -> Tuple[np.ndarray, np.ndarray]:
         """Async single search: admit, batch, score, gather — on one loop.
 
@@ -242,13 +251,15 @@ class ServingGateway(SnapshotListener):
         the request inherits ``default_deadline_s`` unless ``deadline_s``
         overrides it, and awaiting caller cancellation propagates into the
         scheduler: a request cancelled before its batch executes is dropped
-        without being scored.
+        without being scored.  ``tag`` attributes the request's telemetry to
+        a named stream (the A/B bucket).
         """
         core = self.scheduler.async_scheduler
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         pending = await core.submit(
-            query_id, k if k is not None else self.top_k, deadline_s=deadline_s)
+            query_id, k if k is not None else self.top_k, deadline_s=deadline_s,
+            tag=tag)
         core.start()  # idempotent: the drive task for the current loop
         try:
             return await pending.wait()
@@ -257,9 +268,11 @@ class ServingGateway(SnapshotListener):
             raise
 
     async def rank_async(self, query_id: int, k: Optional[int] = None,
-                         deadline_s: Optional[float] = None) -> List[int]:
+                         deadline_s: Optional[float] = None,
+                         tag: Optional[str] = None) -> List[int]:
         """Async variant of the A/B simulator's ranker protocol."""
-        ids, _ = await self.search_async(query_id, k, deadline_s=deadline_s)
+        ids, _ = await self.search_async(query_id, k, deadline_s=deadline_s,
+                                         tag=tag)
         return [int(service_id) for service_id in ids]
 
     async def stop_async(self) -> None:
@@ -371,7 +384,8 @@ class ServingGateway(SnapshotListener):
                 results.append(asyncio.CancelledError("request cancelled"))
                 continue
             self.telemetry.record_request(max(0.0, now - pending.enqueued_at),
-                                          cache_hit=key in hit_keys)
+                                          cache_hit=key in hit_keys,
+                                          tag=pending.tag)
             results.append(value)
         return results
 

@@ -78,11 +78,15 @@ class PendingRequest:
         k: int,
         enqueued_at: float,
         deadline_at: Optional[float] = None,
+        tag: Optional[str] = None,
     ) -> None:
         self.query_id = query_id
         self.k = k
         self.enqueued_at = enqueued_at
         self.deadline_at = deadline_at
+        #: Telemetry attribution tag (e.g. the A/B experiment bucket); every
+        #: answered/shed event for this request is recorded under it.
+        self.tag = tag
         self.completed_at: Optional[float] = None
         self._event = threading.Event()
         self._value: Any = None
@@ -260,6 +264,7 @@ class AsyncBatchScheduler:
         k: int,
         deadline_s: Optional[float],
         entered_at: Optional[float] = None,
+        tag: Optional[str] = None,
     ) -> PendingRequest:
         """Build the handle; the deadline counts from ``entered_at``.
 
@@ -271,12 +276,13 @@ class AsyncBatchScheduler:
         if entered_at is None:
             entered_at = now
         deadline_at = None if deadline_s is None else entered_at + float(deadline_s)
-        return PendingRequest(int(query_id), int(k), now, deadline_at=deadline_at)
+        return PendingRequest(int(query_id), int(k), now,
+                              deadline_at=deadline_at, tag=tag)
 
-    def _reject_overload(self) -> None:
+    def _reject_overload(self, tag: Optional[str] = None) -> None:
         self.overload_rejections += 1
         if self.telemetry is not None:
-            self.telemetry.record_overload()
+            self.telemetry.record_overload(tag=tag)
         raise OverloadError(
             f"admission queue full ({len(self._queue)}/{self.max_queue} requests)"
         )
@@ -292,15 +298,17 @@ class AsyncBatchScheduler:
         return pending
 
     def submit_nowait(
-        self, query_id: int, k: int, deadline_s: Optional[float] = None
+        self, query_id: int, k: int, deadline_s: Optional[float] = None,
+        tag: Optional[str] = None,
     ) -> PendingRequest:
         """Enqueue without awaiting; a full bounded queue always rejects."""
         if self.max_queue is not None and len(self._queue) >= self.max_queue:
-            self._reject_overload()
-        return self._enqueue(self._make_pending(query_id, k, deadline_s))
+            self._reject_overload(tag=tag)
+        return self._enqueue(self._make_pending(query_id, k, deadline_s, tag=tag))
 
     async def submit(
-        self, query_id: int, k: int, deadline_s: Optional[float] = None
+        self, query_id: int, k: int, deadline_s: Optional[float] = None,
+        tag: Optional[str] = None,
     ) -> PendingRequest:
         """Enqueue under the configured backpressure policy.
 
@@ -318,7 +326,7 @@ class AsyncBatchScheduler:
             self._waiters or len(self._queue) + self._reserved >= self.max_queue
         ):
             if self.overload == "reject":
-                self._reject_overload()
+                self._reject_overload(tag=tag)
             waiter = self._loop.create_future()
             self._waiters.append(waiter)
             try:
@@ -331,7 +339,7 @@ class AsyncBatchScheduler:
                 raise
             self._reserved -= 1
         return self._enqueue(
-            self._make_pending(query_id, k, deadline_s, entered_at=entered)
+            self._make_pending(query_id, k, deadline_s, entered_at=entered, tag=tag)
         )
 
     @property
@@ -389,12 +397,12 @@ class AsyncBatchScheduler:
             if pending.cancelled:
                 self.cancelled_requests += 1
                 if self.telemetry is not None:
-                    self.telemetry.record_cancelled()
+                    self.telemetry.record_cancelled(tag=pending.tag)
                 continue
             if pending.deadline_at is not None and now >= pending.deadline_at:
                 self.deadline_misses += 1
                 if self.telemetry is not None:
-                    self.telemetry.record_deadline_miss()
+                    self.telemetry.record_deadline_miss(tag=pending.tag)
                 pending._fail(
                     DeadlineExceededError(
                         f"request waited {now - pending.enqueued_at:.4f}s, "
@@ -642,17 +650,18 @@ class BatchScheduler:
             return self._own_loop().run_until_complete(factory())
 
     def submit(
-        self, query_id: int, k: int, deadline_s: Optional[float] = None
+        self, query_id: int, k: int, deadline_s: Optional[float] = None,
+        tag: Optional[str] = None,
     ) -> PendingRequest:
         """Enqueue one request; dispatches immediately on a full batch."""
         core = self.async_scheduler
         if self._background():
-            return self._run_sync(lambda: core.submit(query_id, k, deadline_s))
+            return self._run_sync(lambda: core.submit(query_id, k, deadline_s, tag))
         # Fail a cross-loop mistake (sync call while the core serves a live
         # async loop) BEFORE enqueueing, so no phantom request is left in
         # the foreign loop's queue.
         core.check_rebind(self._loop)
-        pending = core.submit_nowait(query_id, k, deadline_s)
+        pending = core.submit_nowait(query_id, k, deadline_s, tag=tag)
         if core.pending_count >= core.max_batch_size:
             self._run_sync(core.poll)
         return pending

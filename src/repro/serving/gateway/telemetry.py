@@ -17,6 +17,14 @@ depth at admission (the backpressure signal), overload rejections and
 deadline misses (the two ways a request is shed before scoring), cancelled
 requests, and event-loop lag (how late the drive task's deadline sleeps
 fire — the canary for CPU work blocking the loop).
+
+The experimentation tier (:mod:`repro.serving.abtest`) adds a *bucket*
+dimension: a request may carry a tag (its experiment bucket), every
+``record_request`` / shed event is then also attributed to that tag, and
+:meth:`GatewayTelemetry.bucket_rows` condenses the tagged samples into
+per-bucket QPS / latency-percentile / shed-count breakdowns whose totals
+add up to the gateway-level counters — serving cost becomes observable per
+experiment arm, not just per gateway.
 """
 
 from __future__ import annotations
@@ -62,6 +70,13 @@ class GatewayTelemetry:
         self.shard_latencies_s: Dict[int, List[float]] = {}
         self.shard_queries: Dict[int, int] = {}
         self.shard_candidates: Dict[int, int] = {}
+        self.tag_latencies_s: Dict[str, List[float]] = {}
+        self.tag_cache_hits: Dict[str, int] = {}
+        self.tag_first_at: Dict[str, float] = {}
+        self.tag_last_at: Dict[str, float] = {}
+        self.tag_overloads: Dict[str, int] = {}
+        self.tag_deadline_misses: Dict[str, int] = {}
+        self.tag_cancelled: Dict[str, int] = {}
         self.gathered_candidates = 0
         self.overload_rejections = 0
         self.deadline_misses = 0
@@ -76,7 +91,8 @@ class GatewayTelemetry:
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
-    def record_request(self, latency_s: float, cache_hit: bool) -> None:
+    def record_request(self, latency_s: float, cache_hit: bool,
+                       tag: Optional[str] = None) -> None:
         now = self._clock()
         with self._lock:
             if self._started_at is None:
@@ -87,6 +103,12 @@ class GatewayTelemetry:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+            if tag is not None:
+                self.tag_latencies_s.setdefault(tag, []).append(float(latency_s))
+                if cache_hit:
+                    self.tag_cache_hits[tag] = self.tag_cache_hits.get(tag, 0) + 1
+                self.tag_first_at.setdefault(tag, now - latency_s)
+                self.tag_last_at[tag] = now
 
     def record_batch(self, size: int, backend_queries: int) -> None:
         with self._lock:
@@ -122,17 +144,25 @@ class GatewayTelemetry:
             self.gathered_candidates += int(candidates)
 
     # Loop-front-end events (admission control, deadlines, the drive task).
-    def record_overload(self) -> None:
+    def record_overload(self, tag: Optional[str] = None) -> None:
         with self._lock:
             self.overload_rejections += 1
+            if tag is not None:
+                self.tag_overloads[tag] = self.tag_overloads.get(tag, 0) + 1
 
-    def record_deadline_miss(self) -> None:
+    def record_deadline_miss(self, tag: Optional[str] = None) -> None:
         with self._lock:
             self.deadline_misses += 1
+            if tag is not None:
+                self.tag_deadline_misses[tag] = (
+                    self.tag_deadline_misses.get(tag, 0) + 1
+                )
 
-    def record_cancelled(self) -> None:
+    def record_cancelled(self, tag: Optional[str] = None) -> None:
         with self._lock:
             self.cancelled_requests += 1
+            if tag is not None:
+                self.tag_cancelled[tag] = self.tag_cancelled.get(tag, 0) + 1
 
     def record_queue_depth(self, depth: int) -> None:
         """Queue depth observed at one admission (scalar running stats)."""
@@ -219,6 +249,60 @@ class GatewayTelemetry:
                     "qps": queries / busy_s if busy_s > 0 else 0.0,
                     "p50_ms": float(np.percentile(latencies, 50) * 1e3),
                     "p95_ms": float(np.percentile(latencies, 95) * 1e3),
+                })
+            return rows
+
+    def _tags_unlocked(self) -> List[str]:
+        """Every tag with at least one event; caller must hold the lock."""
+        seen = set(self.tag_latencies_s)
+        seen.update(self.tag_overloads, self.tag_deadline_misses,
+                    self.tag_cancelled)
+        return sorted(seen)
+
+    @property
+    def tags(self) -> List[str]:
+        """Every tag that recorded at least one event (sorted)."""
+        with self._lock:
+            return self._tags_unlocked()
+
+    def bucket_rows(self) -> List[Dict[str, float]]:
+        """Per-tag (experiment-bucket) serving-cost rows, one dict per tag.
+
+        A tag's ``qps`` relates its answered requests to the span between
+        its own first and last request, so two buckets sharing one gateway
+        report the rates *their* traffic actually sustained.  Summing
+        ``requests`` / ``deadline_misses`` / ``overload_rejections`` /
+        ``cancelled`` across rows reproduces the gateway-level counters
+        whenever every request carried a tag.
+        """
+        with self._lock:
+            rows = []
+            for tag in self._tags_unlocked():
+                latencies = np.asarray(self.tag_latencies_s.get(tag, ()),
+                                       dtype=np.float64)
+                if latencies.size:
+                    span = max(self.tag_last_at[tag] - self.tag_first_at[tag],
+                               1e-12)
+                    qps = latencies.size / span
+                    p50, p95, p99 = (
+                        float(np.percentile(latencies, pct) * 1e3)
+                        for pct in (50, 95, 99)
+                    )
+                else:
+                    qps = 0.0
+                    p50 = p95 = p99 = float("nan")
+                hits = self.tag_cache_hits.get(tag, 0)
+                rows.append({
+                    "bucket": tag,
+                    "requests": float(latencies.size),
+                    "qps": qps,
+                    "p50_ms": p50,
+                    "p95_ms": p95,
+                    "p99_ms": p99,
+                    "cache_hit_rate": hits / latencies.size if latencies.size else 0.0,
+                    "deadline_misses": float(self.tag_deadline_misses.get(tag, 0)),
+                    "overload_rejections": float(self.tag_overloads.get(tag, 0)),
+                    "cancelled_requests": float(self.tag_cancelled.get(tag, 0)),
                 })
             return rows
 

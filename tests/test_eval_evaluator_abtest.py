@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.eval.ab_test import ABTestConfig, OnlineABTest
+from repro.eval.ab_test import ABTestConfig, OnlineABTest, date_label
 from repro.eval.evaluator import Evaluator
 from repro.eval.reporting import format_float_table, format_table
 
@@ -144,6 +144,11 @@ class TestABTest:
             ABTestConfig(num_days=0)
         with pytest.raises(ValueError):
             ABTestConfig(top_k=10, position_bias=(1.0, 0.5))
+
+    def test_date_labels_cross_month_and_year_boundaries(self):
+        assert date_label("2022/10/28", 0) == "2022/10/28"
+        assert date_label("2022/10/28", 4) == "2022/11/01"
+        assert date_label("2022/12/30", 3) == "2023/01/02"
 
     def test_metrics_are_counted(self, tiny_scenario):
         config = ABTestConfig(num_days=1, sessions_per_day=200, top_k=3, seed=3)

@@ -138,6 +138,25 @@ class TestFigureDrivers:
         assert "absolute CTR gain" in result.notes
         assert len(result.series["ctr_improvement_pct"]) == 2
 
+    def test_fig10_gateway_backend_reports_ctr_and_cost(self):
+        result = fig10_online_ab.run(
+            FAST, baseline_model="LightGCN", num_days=2, sessions_per_day=120,
+            top_k=3, backend="gateway", treatment_fraction=0.3,
+        )
+        assert len(result.rows) == 2
+        assert "ctr_improvement_pct" in result.rows[0]
+        assert "control_ctr" in result.rows[0] and "treatment_ctr" in result.rows[0]
+        assert result.rows[0]["control_impressions"] > 0
+        assert result.rows[0]["treatment_impressions"] > 0
+        # The joint report carries serving cost from the same run.
+        assert "QPS" in result.notes and "p99" in result.notes
+        assert len(result.series["control_p99_ms"]) == 1
+        assert len(result.series["ctr_improvement_pct"]) == 2
+
+    def test_fig10_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            fig10_online_ab.run(FAST, backend="quantum")
+
     def test_fig11_case_study_lists(self):
         result = fig11_case_study.run(
             FAST, baseline_model="LightGCN", num_case_queries=1, top_k=3
