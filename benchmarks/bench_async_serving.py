@@ -24,8 +24,11 @@ configuration:
 A fourth, open-loop run drives Poisson arrivals at 1.25x the measured
 async capacity through a bounded admission queue (reject policy) with a
 tight deadline — the regime where the new overload/deadline/queue-depth
-telemetry is observable.  Results are printed as a table and persisted to
-``benchmarks/results/async_serving.json``.
+telemetry is observable.  A final pair of closed-loop runs measures
+observability overhead: telemetry fully off vs per-request tracing plus
+histogram telemetry, gated at >= 0.9x QPS and recorded as
+``obs_overhead_qps_ratio``.  Results are printed as a table and persisted
+to ``benchmarks/results/async_serving.json``.
 
 Runnable standalone with the uniform bench flags::
 
@@ -129,7 +132,9 @@ def run_thread_path(gateway, stream, concurrency: int) -> dict:
     return {"mode": "thread", "concurrency": concurrency, **report}
 
 
-def run_async_path(queries, services, params, stream, concurrency: int) -> dict:
+def run_async_path(
+    queries, services, params, stream, concurrency: int, mode=None, **overrides
+) -> dict:
     """The asyncio regime: ``concurrency`` futures held on one event loop."""
     gateway = make_gateway(
         queries,
@@ -139,6 +144,7 @@ def run_async_path(queries, services, params, stream, concurrency: int) -> dict:
         overload="wait",
         cpu_executor="thread",
         loop_confined=True,
+        **overrides,
     )
     try:
         report = asyncio.run(
@@ -150,7 +156,7 @@ def run_async_path(queries, services, params, stream, concurrency: int) -> dict:
     finally:
         gateway.close()
     return {
-        "mode": f"async_c{concurrency}",
+        "mode": mode if mode is not None else f"async_c{concurrency}",
         "concurrency": concurrency,
         **report,
         "queue_depth_max": summary["queue_depth_max"],
@@ -214,12 +220,37 @@ def run_bench(params, seed: int) -> dict:
             seed=seed + 3,
         )
     )
+    # Observability overhead: the same closed-loop drive with telemetry
+    # fully disabled vs tracing + histogram telemetry on every request.
+    # Each config takes its best of three runs — sub-second drives are
+    # noisy and noise only ever lowers QPS, so the max estimates capacity.
+    def best_of(mode, **overrides):
+        runs = [
+            run_async_path(
+                queries,
+                services,
+                params,
+                stream,
+                params["thread_concurrency"],
+                mode=mode,
+                **overrides,
+            )
+            for _ in range(3)
+        ]
+        return max(runs, key=lambda row: row["sustained_qps"])
+
+    obs_off = best_of("obs_off", telemetry_enabled=False)
+    obs_on = best_of("obs_on", tracing=True, trace_sample_every=16)
+    rows.extend([obs_off, obs_on])
     return {
         "workload": dict(params, distribution="zipf(1.1)"),
         "seed": seed,
         "results": rows,
         "qps_ratio_async_equal_vs_thread": (
             equal["sustained_qps"] / thread_report["sustained_qps"]
+        ),
+        "obs_overhead_qps_ratio": (
+            obs_on["sustained_qps"] / obs_off["sustained_qps"]
         ),
     }
 
@@ -231,13 +262,15 @@ def main(argv=None):
     rows = payload["results"]
     by_mode = {row["mode"]: row for row in rows}
     ratio = payload["qps_ratio_async_equal_vs_thread"]
-    if args.smoke and ratio < 1.0:
+    obs_ratio = payload["obs_overhead_qps_ratio"]
+    if args.smoke and (ratio < 1.0 or obs_ratio < 0.9):
         # Wall-clock orderings can lose to a noisy neighbour; one retry
         # separates a loaded CI runner from a real regression.
         payload = run_bench(params, seed=args.seed)
         rows = payload["results"]
         by_mode = {row["mode"]: row for row in rows}
         ratio = payload["qps_ratio_async_equal_vs_thread"]
+        obs_ratio = payload["obs_overhead_qps_ratio"]
     label = "smoke" if args.smoke else "full"
     print(
         format_float_table(
@@ -277,6 +310,11 @@ def main(argv=None):
         highest["deadline_missed"] <= 0.01 * params["num_requests"],
         f"deadline misses blew up at high concurrency "
         f"({highest['deadline_missed']} of {params['num_requests']})",
+    )
+    require(
+        obs_ratio >= 0.9,
+        f"tracing + histogram telemetry must keep >= 0.9x the "
+        f"telemetry-off QPS (got {obs_ratio:.3f}x)",
     )
     print("bench gates passed")
 

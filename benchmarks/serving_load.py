@@ -37,6 +37,7 @@ from repro.serving.gateway import (
     clustered_embeddings,
     zipf_query_ids,
 )
+from repro.serving.obs.metrics import sample_percentiles_ms
 
 
 def make_workload(params: dict, seed: int):
@@ -88,14 +89,10 @@ def load_report(
 ) -> dict:
     """One drive run's report row (shared by the async and thread drivers,
     so percentile math and column names cannot drift between the modes a
-    bench compares)."""
-    ordered = sorted(latencies_s)
-
-    def pct(p: float) -> float:
-        if not ordered:
-            return float("nan")
-        return ordered[min(len(ordered) - 1, int(p * len(ordered)))] * 1e3
-
+    bench compares).  Percentiles come from the shared helper in
+    :mod:`repro.serving.obs.metrics` — the same definition the eval layer
+    uses."""
+    tail = sample_percentiles_ms(latencies_s, percentiles=(50, 99))
     return {
         "requests": attempted,
         "completed": completed,
@@ -104,8 +101,8 @@ def load_report(
         "max_in_flight": max_in_flight,
         "elapsed_s": elapsed_s,
         "sustained_qps": completed / elapsed_s if elapsed_s > 0 else 0.0,
-        "p50_ms": pct(0.50),
-        "p99_ms": pct(0.99),
+        "p50_ms": tail["p50_ms"],
+        "p99_ms": tail["p99_ms"],
     }
 
 

@@ -43,13 +43,17 @@ def recall_at_k(approx_ids: np.ndarray, exact_ids: np.ndarray, k: int) -> float:
 
 def latency_percentiles(latencies_s: Sequence[float],
                         percentiles: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
-    """``{"p50_ms": ..., ...}`` of a latency sample, in milliseconds."""
-    values = np.asarray(list(latencies_s), dtype=np.float64)
-    if values.size == 0:
-        return {f"p{int(p)}_ms": float("nan") for p in percentiles}
-    return {
-        f"p{int(p)}_ms": float(np.percentile(values, p) * 1e3) for p in percentiles
-    }
+    """``{"p50_ms": ..., ...}`` of a latency sample, in milliseconds.
+
+    Thin alias over the shared exact-percentile helper
+    (:func:`repro.serving.obs.metrics.sample_percentiles_ms`) so the eval
+    layer, the load bench and the gateway agree on one definition.
+    """
+    # Imported lazily: the serving gateway imports recall_at_k from this
+    # module, so a module-level import would be circular.
+    from repro.serving.obs.metrics import sample_percentiles_ms
+
+    return sample_percentiles_ms(latencies_s, percentiles)
 
 
 @dataclass
@@ -115,17 +119,28 @@ def summarize_gateway(mode: str, gateway,
 
     ``elapsed_s`` overrides the telemetry's first-to-last-request span with
     an externally measured wall-clock duration (what the load benches do).
+
+    The telemetry keeps histograms, not raw latency lists, so the summary
+    is assembled from :meth:`GatewayTelemetry.summary` — percentiles are
+    bucket-interpolated within the documented relative-error bound.
     """
-    telemetry = gateway.telemetry
-    return summarize_load_test(
+    stats = gateway.telemetry.summary()
+    requests = int(stats["requests"])
+    elapsed = gateway.telemetry.elapsed_s if elapsed_s is None else float(elapsed_s)
+    if elapsed <= 0:
+        raise ValueError("elapsed_s must be positive")
+    return LoadTestSummary(
         mode=mode,
-        latencies_s=telemetry.latencies_s,
-        elapsed_s=telemetry.elapsed_s if elapsed_s is None else elapsed_s,
-        recall=float("nan") if telemetry.recall_at_k is None else telemetry.recall_at_k,
-        cache_hit_rate=telemetry.cache_hit_rate,
-        mean_batch_size=(float(np.mean(telemetry.batch_sizes))
-                         if telemetry.batch_sizes else 0.0),
-        extras={"backend_queries": float(telemetry.backend_queries),
+        requests=requests,
+        elapsed_s=elapsed,
+        qps=requests / elapsed,
+        p50_ms=stats["p50_ms"],
+        p95_ms=stats["p95_ms"],
+        p99_ms=stats["p99_ms"],
+        recall_at_k=stats["recall_at_k"],
+        cache_hit_rate=stats["cache_hit_rate"],
+        mean_batch_size=stats["mean_batch_size"],
+        extras={"backend_queries": stats["backend_queries"],
                 "store_version": float(gateway.store.version)},
     )
 

@@ -24,7 +24,12 @@ overlaps per-shard work on the event loop for async callers.  The
 experimentation tier lives in :mod:`repro.serving.abtest`: deterministic
 bucketed traffic routing over gateway arms with joint CTR + serving-cost
 reporting (the paper's Fig. 10 bucket test replayed *through* the serving
-stack).  See ``src/repro/serving/README.md`` for the layer map.
+stack).  The observability substrate lives in :mod:`repro.serving.obs`:
+a bounded metrics core (counters / gauges / log-bucketed histograms with
+Prometheus + JSON export), end-to-end request tracing from the gateway
+through shard workers, and a tail-sampling flight recorder with a
+poll-cheap health snapshot.  See ``src/repro/serving/README.md`` for the
+layer map.
 """
 
 from repro.serving.abtest import (
@@ -40,6 +45,12 @@ from repro.serving.gateway import (
     VersionedEmbeddingStore,
     deploy_gateway,
 )
+from repro.serving.obs import (
+    FlightRecorder,
+    HealthSnapshot,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.serving.pipeline import ServingPipeline, deploy_model
 from repro.serving.ranking import RankedService, RankingModule
 from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
@@ -49,11 +60,15 @@ __all__ = [
     "ABExperimentConfig",
     "BucketRouter",
     "EmbeddingStore",
+    "FlightRecorder",
     "GatewayABReport",
+    "HealthSnapshot",
+    "MetricsRegistry",
     "OnlineABExperiment",
     "InnerProductRetriever",
     "ModelScoringRetriever",
     "NodeFeatureExtractor",
+    "Tracer",
     "RankedService",
     "RankingModule",
     "RelationExtractor",

@@ -55,23 +55,12 @@ from repro.eval.ab_test import (
     simulate_impressions,
 )
 from repro.serving.gateway import DeadlineExceededError, OverloadError
+from repro.serving.obs.ids import splitmix64 as _splitmix64
 
 #: Position-bias discounts applied per top-K slot (mirrors ABTestConfig).
 DEFAULT_POSITION_BIAS: Tuple[float, ...] = (1.0, 0.75, 0.55, 0.4, 0.3)
 
 _SPLIT_TOLERANCE = 1e-6
-
-
-def _splitmix64(values: np.ndarray) -> np.ndarray:
-    """Vectorised splitmix64 finaliser: uint64 -> well-mixed uint64.
-
-    Unsigned numpy arithmetic wraps silently, which is exactly the mod-2^64
-    behaviour the constants assume.
-    """
-    z = values + np.uint64(0x9E3779B97F4A7C15)
-    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    return z ^ (z >> np.uint64(31))
 
 
 def _salt_to_u64(salt) -> np.uint64:

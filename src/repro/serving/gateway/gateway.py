@@ -50,6 +50,9 @@ from repro.serving.gateway.store import (
     VersionedEmbeddingStore,
 )
 from repro.serving.gateway.telemetry import GatewayTelemetry
+from repro.serving.obs.flight import FlightRecorder
+from repro.serving.obs.health import HealthSnapshot
+from repro.serving.obs.tracing import BatchSpans, Tracer
 
 
 class ServingGateway(SnapshotListener):
@@ -80,6 +83,21 @@ class ServingGateway(SnapshotListener):
       event loop (or one thread): the result cache and telemetry then drop
       their per-call locks, so a cache hit never takes — and can never
       block on — a lock.
+
+    Observability knobs:
+
+    * ``tracing=True`` traces every request end to end (admission → queue →
+      plan → score/scatter → merge → reply spans); finished traces land in
+      the gateway's :class:`~repro.serving.obs.flight.FlightRecorder`,
+      which always keeps slow/shed/error traces and samples 1 in
+      ``trace_sample_every`` ordinary ones into a ring of
+      ``flight_recorder_capacity``; ``slow_trace_ms`` is the always-keep
+      latency threshold,
+    * ``telemetry_enabled=False`` turns every telemetry record into a no-op
+      (the baseline the obs-overhead bench gate compares against),
+    * :meth:`health` condenses the telemetry into a poll-cheap
+      :class:`~repro.serving.obs.health.HealthSnapshot`, and
+      :meth:`explain` renders the span tree of one request.
     """
 
     def __init__(self, store: VersionedEmbeddingStore, index: str = "ivf",
@@ -90,6 +108,10 @@ class ServingGateway(SnapshotListener):
                  max_queue: Optional[int] = None, overload: str = "wait",
                  default_deadline_s: Optional[float] = None,
                  cpu_executor=None, loop_confined: bool = False,
+                 telemetry_enabled: bool = True, tracing: bool = False,
+                 trace_sample_every: int = 16,
+                 flight_recorder_capacity: int = 256,
+                 slow_trace_ms: float = 50.0, trace_seed: int = 0,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if top_k <= 0:
             raise ValueError("top_k must be positive")
@@ -116,11 +138,19 @@ class ServingGateway(SnapshotListener):
         self.cache = LRUTTLCache(capacity=cache_capacity, ttl_s=cache_ttl_s,
                                  clock=clock, thread_safe=not loop_confined)
         self.telemetry = GatewayTelemetry(clock=clock,
-                                          thread_safe=not loop_confined)
+                                          thread_safe=not loop_confined,
+                                          enabled=telemetry_enabled)
+        self.flight_recorder = FlightRecorder(
+            capacity=flight_recorder_capacity,
+            sample_every=trace_sample_every,
+            slow_s=slow_trace_ms * 1e-3,
+        )
+        self.tracer = Tracer(clock=clock, recorder=self.flight_recorder,
+                             seed=trace_seed, enabled=tracing)
         self.scheduler = BatchScheduler(
             self._execute_batch_async, max_batch_size=max_batch_size,
             max_wait_s=max_wait_s, clock=clock, max_queue=max_queue,
-            overload=overload, telemetry=self.telemetry,
+            overload=overload, telemetry=self.telemetry, tracer=self.tracer,
         )
         self._active_version: Optional[int] = None
         # Subscribing prepares + activates the current snapshot eagerly, so
@@ -175,18 +205,27 @@ class ServingGateway(SnapshotListener):
                     del self._indexes[stale]
             return index
 
-    def _search_backend(self, snapshot, query_matrix: np.ndarray,
-                        k: int) -> Tuple[np.ndarray, np.ndarray]:
+    def _search_backend(self, snapshot, query_matrix: np.ndarray, k: int,
+                        spans: Optional[BatchSpans] = None
+                        ) -> Tuple[np.ndarray, np.ndarray]:
         """One vectorised top-k search at exactly ``snapshot``'s version.
 
         The single-process backend answers from the per-version index; the
         sharded subclass overrides this with a scatter/gather over its
-        worker pool.
+        worker pool.  ``spans`` (when the batch carries traced requests)
+        receives a ``score`` span covering the scan.
         """
-        return self._index_for(snapshot).search(query_matrix, k)
+        if spans is None:
+            return self._index_for(snapshot).search(query_matrix, k)
+        started = self._clock()
+        result = self._index_for(snapshot).search(query_matrix, k)
+        spans.add("score", started, self._clock(),
+                  queries=query_matrix.shape[0], k=k)
+        return result
 
     async def _search_backend_async(self, snapshot, query_matrix: np.ndarray,
-                                    k: int) -> Tuple[np.ndarray, np.ndarray]:
+                                    k: int, spans: Optional[BatchSpans] = None
+                                    ) -> Tuple[np.ndarray, np.ndarray]:
         """The async face of the backend search (the executor boundary).
 
         CPU-bound scoring is pushed through ``cpu_executor`` when one is
@@ -198,10 +237,15 @@ class ServingGateway(SnapshotListener):
         """
         if self._cpu_executor is not None:
             loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(
+            started = self._clock()
+            result = await loop.run_in_executor(
                 self._cpu_executor, self._search_backend,
                 snapshot, query_matrix, k)
-        return self._search_backend(snapshot, query_matrix, k)
+            if spans is not None:
+                spans.add("score", started, self._clock(),
+                          queries=query_matrix.shape[0], k=k, offloaded=True)
+            return result
+        return self._search_backend(snapshot, query_matrix, k, spans=spans)
 
     # ------------------------------------------------------------------ #
     # Request path (async core + sync wrappers)
@@ -323,19 +367,35 @@ class ServingGateway(SnapshotListener):
         unknown query id or invalid k fails alone (its result is an exception)
         instead of failing the whole batch; a request cancelled while its
         batch was in flight is skipped — its slot is never scored.
+
+        Batch-level work (cache planning, the backend search) happens once
+        per batch, so its spans are recorded once into a
+        :class:`~repro.serving.obs.tracing.BatchSpans` and grafted into
+        every traced request at collect time.
         """
+        spans = None
+        if self.tracer.enabled and any(
+            pending.trace is not None and not pending.cancelled
+            for pending in batch
+        ):
+            spans = BatchSpans(self._clock, self.tracer.batch_context())
+        planned_at = self._clock() if spans is not None else 0.0
         resolved, hit_keys, misses = self._plan_batch(batch, snapshot)
+        if spans is not None:
+            spans.add("plan", planned_at, self._clock(), batch=len(batch),
+                      cache_hits=len(hit_keys), backend_queries=len(misses),
+                      version=snapshot.version)
         if misses:
             query_matrix = snapshot.query([query_id for query_id, _ in misses])
             max_k = max(k for _, k in misses)
             ids, scores = await self._search_backend_async(
-                snapshot, query_matrix, max_k)
+                snapshot, query_matrix, max_k, spans=spans)
             for row, (query_id, k) in enumerate(misses):
                 valid = ids[row, :k] >= 0
                 value = (ids[row, :k][valid].copy(), scores[row, :k][valid].copy())
                 resolved[(query_id, k)] = value
                 self.cache.put((query_id, k, snapshot.version), value)
-        return self._collect_results(batch, resolved, hit_keys, misses)
+        return self._collect_results(batch, resolved, hit_keys, misses, spans)
 
     def _plan_batch(self, batch: Sequence[PendingRequest], snapshot):
         """Resolve each request from the cache or mark it a backend miss."""
@@ -370,7 +430,7 @@ class ServingGateway(SnapshotListener):
         return resolved, hit_keys, misses
 
     def _collect_results(self, batch: Sequence[PendingRequest], resolved,
-                         hit_keys, misses) -> List:
+                         hit_keys, misses, spans=None) -> List:
         """Telemetry + one result (or per-request exception) per batch slot."""
         now = self._clock()
         self.telemetry.record_batch(len(batch), backend_queries=len(misses))
@@ -386,6 +446,8 @@ class ServingGateway(SnapshotListener):
             self.telemetry.record_request(max(0.0, now - pending.enqueued_at),
                                           cache_hit=key in hit_keys,
                                           tag=pending.tag)
+            if spans is not None and pending.trace is not None:
+                spans.graft_into(pending.trace)
             results.append(value)
         return results
 
@@ -429,6 +491,14 @@ class ServingGateway(SnapshotListener):
         summary["store_version"] = float(self.store.version)
         summary["cache_size"] = float(len(self.cache))
         return summary
+
+    def health(self) -> HealthSnapshot:
+        """The poll-cheap per-replica health signal (fleet-router feed)."""
+        return self.telemetry.health()
+
+    def explain(self, request) -> str:
+        """Span tree of one request / trace / trace id, via the recorder."""
+        return self.flight_recorder.explain(request)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

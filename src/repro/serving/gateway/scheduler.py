@@ -51,6 +51,13 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Sequence
 
+from repro.serving.obs.metrics import Histogram
+from repro.serving.obs.tracing import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+)
+
 OVERLOAD_POLICIES = ("wait", "reject")
 
 
@@ -79,6 +86,7 @@ class PendingRequest:
         enqueued_at: float,
         deadline_at: Optional[float] = None,
         tag: Optional[str] = None,
+        trace=None,
     ) -> None:
         self.query_id = query_id
         self.k = k
@@ -87,6 +95,9 @@ class PendingRequest:
         #: Telemetry attribution tag (e.g. the A/B experiment bucket); every
         #: answered/shed event for this request is recorded under it.
         self.tag = tag
+        #: The request's :class:`~repro.serving.obs.tracing.Trace`, or None
+        #: when tracing is off; instrumentation sites guard on it.
+        self.trace = trace
         self.completed_at: Optional[float] = None
         self._event = threading.Event()
         self._value: Any = None
@@ -111,6 +122,8 @@ class PendingRequest:
         self._event.set()
         if self._future is not None and not self._future.done():
             self._future.cancel()
+        if self.trace is not None:
+            self.trace.finish("cancelled")
         return True
 
     def result(self, timeout: Optional[float] = None) -> Any:
@@ -184,6 +197,7 @@ class AsyncBatchScheduler:
         cpu_executor=None,
         clock: Callable[[], float] = time.monotonic,
         telemetry=None,
+        tracer=None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -201,6 +215,7 @@ class AsyncBatchScheduler:
         self.overload = overload
         self.cpu_executor = cpu_executor
         self.telemetry = telemetry
+        self.tracer = tracer
         self._clock = clock
         self._queue: Deque[PendingRequest] = deque()
         self._waiters: Deque[asyncio.Future] = deque()
@@ -216,7 +231,10 @@ class AsyncBatchScheduler:
         self.deadline_misses = 0
         self.cancelled_requests = 0
         self.max_queue_depth = 0
-        self.execute_latencies_s: List[float] = []
+        #: Executor wall-time distribution — a fixed-bucket histogram, so
+        #: the scheduler's own footprint stays O(buckets) under sustained
+        #: traffic (the per-batch latency list it replaces grew forever).
+        self.execute_latency = Histogram()
 
     # ------------------------------------------------------------------ #
     # Loop binding
@@ -271,18 +289,37 @@ class AsyncBatchScheduler:
         ``entered_at`` is when the caller *asked* (before any admission
         park), so under overload the deadline bounds the latency the caller
         actually observes — time spent waiting for a queue slot included.
+
+        With tracing on, the request's trace starts here: the admission
+        span covers ``entered_at`` → enqueue (any waiter park included).
         """
         now = self._clock()
         if entered_at is None:
             entered_at = now
         deadline_at = None if deadline_s is None else entered_at + float(deadline_s)
+        trace = None
+        if self.tracer is not None and self.tracer.enabled:
+            trace = self.tracer.start_request(query_id, tag=tag, start_s=entered_at)
+            # Stage marks, not spans: the admission span materialises only
+            # if something inspects the trace.
+            trace.admission_end_s = now
+            trace.queue_depth = len(self._queue)
         return PendingRequest(int(query_id), int(k), now,
-                              deadline_at=deadline_at, tag=tag)
+                              deadline_at=deadline_at, tag=tag, trace=trace)
 
-    def _reject_overload(self, tag: Optional[str] = None) -> None:
+    def _reject_overload(
+        self, tag: Optional[str] = None, query_id: Optional[int] = None
+    ) -> None:
         self.overload_rejections += 1
         if self.telemetry is not None:
             self.telemetry.record_overload(tag=tag)
+        if self.tracer is not None and self.tracer.enabled:
+            # Shed requests still leave a trace: a zero-length admission
+            # span, finished "shed" — the flight recorder always keeps it.
+            now = self._clock()
+            trace = self.tracer.start_request(query_id, tag=tag, start_s=now)
+            trace.add_span("admission", now, now, status=STATUS_SHED)
+            trace.finish(STATUS_SHED, end_s=now, reason="overload")
         raise OverloadError(
             f"admission queue full ({len(self._queue)}/{self.max_queue} requests)"
         )
@@ -303,7 +340,7 @@ class AsyncBatchScheduler:
     ) -> PendingRequest:
         """Enqueue without awaiting; a full bounded queue always rejects."""
         if self.max_queue is not None and len(self._queue) >= self.max_queue:
-            self._reject_overload(tag=tag)
+            self._reject_overload(tag=tag, query_id=query_id)
         return self._enqueue(self._make_pending(query_id, k, deadline_s, tag=tag))
 
     async def submit(
@@ -326,7 +363,7 @@ class AsyncBatchScheduler:
             self._waiters or len(self._queue) + self._reserved >= self.max_queue
         ):
             if self.overload == "reject":
-                self._reject_overload(tag=tag)
+                self._reject_overload(tag=tag, query_id=query_id)
             waiter = self._loop.create_future()
             self._waiters.append(waiter)
             try:
@@ -394,15 +431,21 @@ class AsyncBatchScheduler:
         now = self._clock()
         live: List[PendingRequest] = []
         for pending in batch:
+            trace = pending.trace
             if pending.cancelled:
                 self.cancelled_requests += 1
                 if self.telemetry is not None:
                     self.telemetry.record_cancelled(tag=pending.tag)
-                continue
+                continue  # cancel() already finished its trace
             if pending.deadline_at is not None and now >= pending.deadline_at:
                 self.deadline_misses += 1
                 if self.telemetry is not None:
                     self.telemetry.record_deadline_miss(tag=pending.tag)
+                if trace is not None:
+                    trace.add_span(
+                        "queue", pending.enqueued_at, now, status=STATUS_SHED
+                    )
+                    trace.finish(STATUS_SHED, end_s=now, reason="deadline")
                 pending._fail(
                     DeadlineExceededError(
                         f"request waited {now - pending.enqueued_at:.4f}s, "
@@ -412,6 +455,9 @@ class AsyncBatchScheduler:
                 )
                 continue
             live.append(pending)
+            if trace is not None:
+                # Queue wait ends at batch formation (stage mark, not span).
+                trace.queue_end_s = now
         if not live:
             return len(batch)
         started = self._clock()
@@ -426,22 +472,38 @@ class AsyncBatchScheduler:
             completed = self._clock()
             for pending in live:
                 pending._fail(asyncio.CancelledError("scheduler stopped"), completed)
+                if pending.trace is not None:
+                    pending.trace.finish("cancelled", end_s=completed)
             raise
         except BaseException as error:  # propagate to all waiters, keep serving
             completed = self._clock()
             for pending in live:
                 pending._fail(error, completed)
-            self.execute_latencies_s.append(max(0.0, completed - started))
+                if pending.trace is not None:
+                    pending.trace.finish(
+                        STATUS_ERROR, end_s=completed, error=type(error).__name__
+                    )
+            self.execute_latency.observe(max(0.0, completed - started))
             return len(batch)
         completed = self._clock()
         for pending, value in zip(live, results):
+            trace = pending.trace
             if isinstance(value, BaseException):
                 pending._fail(value, completed)
+                if trace is not None:
+                    trace.finish(
+                        STATUS_ERROR, end_s=completed, error=type(value).__name__
+                    )
             else:
                 pending._complete(value, completed)
+                if trace is not None:
+                    reply_end = self._clock()
+                    trace.reply_start_s = completed
+                    trace.reply_end_s = reply_end
+                    trace.finish_ok(reply_end)
         self.batches_dispatched += 1
         self.requests_dispatched += len(live)
-        self.execute_latencies_s.append(max(0.0, completed - started))
+        self.execute_latency.observe(max(0.0, completed - started))
         return len(batch)
 
     async def poll(self) -> int:
@@ -541,14 +603,15 @@ class AsyncBatchScheduler:
 
         The executor latency is the batch's whole backend execution — for
         the sharded gateway that is the scatter/gather round trip, which the
-        per-shard telemetry then decomposes shard by shard.
+        per-shard telemetry then decomposes shard by shard.  Percentiles are
+        bucket-interpolated from the fixed histogram (bounded relative
+        error), not re-sorted from raw history.
         """
-        latencies = list(self.execute_latencies_s)
-        if latencies:
-            ordered = sorted(latencies)
-            p50 = ordered[len(ordered) // 2] * 1e3
-            p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))] * 1e3
-            mean = sum(latencies) / len(latencies) * 1e3
+        hist = self.execute_latency
+        if hist.count:
+            p50 = hist.percentile(50) * 1e3
+            p95 = hist.percentile(95) * 1e3
+            mean = hist.mean * 1e3
         else:
             p50 = p95 = mean = float("nan")
         return {
@@ -625,8 +688,8 @@ class BatchScheduler:
         return self.async_scheduler.requests_dispatched
 
     @property
-    def execute_latencies_s(self) -> List[float]:
-        return self.async_scheduler.execute_latencies_s
+    def execute_latency(self) -> Histogram:
+        return self.async_scheduler.execute_latency
 
     def stats(self) -> dict:
         return self.async_scheduler.stats()

@@ -1,0 +1,68 @@
+"""Observability layer for the serving stack: metrics, tracing, recorder.
+
+Four small modules, no dependencies on the gateway (the gateway depends on
+*us*):
+
+=================  ====================================================
+module             contents
+=================  ====================================================
+``obs.ids``        splitmix64 (vectorised + scalar) deterministic ids
+``obs.metrics``    Counter / Gauge / log-bucket Histogram, snapshots,
+                   labeled families with overflow caps, registry with
+                   Prometheus text + JSON exposition
+``obs.tracing``    Tracer / Trace / Span, batch-level span grafting,
+                   pipe-portable worker span dicts
+``obs.flight``     FlightRecorder ring buffer (always-keep slow/shed)
+``obs.health``     HealthSnapshot — the poll-cheap fleet-router signal
+=================  ====================================================
+"""
+
+from repro.serving.obs.flight import FlightRecorder
+from repro.serving.obs.health import HealthSnapshot
+from repro.serving.obs.ids import GOLDEN_GAMMA, splitmix64, splitmix64_int
+from repro.serving.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    OVERFLOW_LABEL,
+    POW2_BOUNDARIES,
+    RELATIVE_ERROR_BOUND,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricFamily,
+    MetricsRegistry,
+    log_boundaries,
+    sample_percentiles_ms,
+)
+from repro.serving.obs.tracing import (
+    BatchSpans,
+    Span,
+    Trace,
+    Tracer,
+    worker_span,
+)
+
+__all__ = [
+    "BatchSpans",
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDARIES",
+    "FlightRecorder",
+    "Gauge",
+    "GOLDEN_GAMMA",
+    "HealthSnapshot",
+    "Histogram",
+    "HistogramSnapshot",
+    "log_boundaries",
+    "MetricFamily",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+    "POW2_BOUNDARIES",
+    "RELATIVE_ERROR_BOUND",
+    "sample_percentiles_ms",
+    "Span",
+    "splitmix64",
+    "splitmix64_int",
+    "Trace",
+    "Tracer",
+    "worker_span",
+]

@@ -1,0 +1,121 @@
+"""Flight recorder: a bounded ring of recent traces worth keeping.
+
+Tail-sampling over finished traces.  Every trace is offered via
+:meth:`FlightRecorder.record`; the recorder keeps
+
+* every trace whose status is not ``ok`` (shed, cancelled, error) — the
+  requests someone will ask about,
+* every trace at least ``slow_s`` long — the tail the fleet router cares
+  about,
+* plus one in every ``sample_every`` ordinary traces as background
+  context.
+
+Kept traces land in a ``deque(maxlen=capacity)``: memory is bounded by the
+ring size regardless of traffic, and the oldest kept trace falls off
+first.  ``explain()`` renders the span tree of a request, a trace, or a
+trace id — the "where did my request spend its time" call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.serving.obs.tracing import STATUS_OK, Trace
+
+
+class FlightRecorder:
+    """Keep slow/shed/error traces always, ordinary ones 1-in-N."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        sample_every: int = 16,
+        slow_s: Optional[float] = 0.050,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.slow_s = slow_s
+        self._ring: deque = deque(maxlen=capacity)
+        self.seen = 0
+        self.kept: Dict[str, int] = {
+            "slow": 0,
+            "not_ok": 0,
+            "sampled": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, trace: Trace) -> None:
+        seen = self.seen
+        self.seen = seen + 1
+        if trace.status != STATUS_OK:
+            reason = "not_ok"
+        elif self.slow_s is not None and trace.duration_s >= self.slow_s:
+            reason = "slow"
+        elif seen % self.sample_every == 0:
+            reason = "sampled"
+        else:
+            return
+        self.kept[reason] += 1
+        self._ring.append(trace)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def dump(self) -> List[Trace]:
+        """Kept traces, oldest first."""
+        return list(self._ring)
+
+    def find(self, trace_id: int) -> Optional[Trace]:
+        for trace in self._ring:
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def slowest(self) -> Optional[Trace]:
+        if not self._ring:
+            return None
+        return max(self._ring, key=lambda trace: trace.duration_s)
+
+    def explain(self, request) -> str:
+        """Span tree of a request / trace / trace id, or why there is none."""
+        trace: Optional[Trace]
+        if isinstance(request, Trace):
+            trace = request
+        elif isinstance(request, int):
+            trace = self.find(request)
+            if trace is None:
+                return f"trace {request:#x}: not in the flight recorder"
+        else:
+            trace = getattr(request, "trace", None)
+            if trace is None:
+                return (
+                    "no trace attached to this request "
+                    "(tracing disabled or request untraced)"
+                )
+        return trace.format()
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "seen": float(self.seen),
+            "kept": float(len(self._ring)),
+            "kept_not_ok": float(self.kept["not_ok"]),
+            "kept_slow": float(self.kept["slow"]),
+            "kept_sampled": float(self.kept["sampled"]),
+            "capacity": float(self.capacity),
+        }
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.seen = 0
+        for key in self.kept:
+            self.kept[key] = 0

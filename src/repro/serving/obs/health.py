@@ -1,0 +1,45 @@
+"""The per-replica health surface a fleet router polls.
+
+:class:`HealthSnapshot` is a frozen value object built by
+``GatewayTelemetry.health()`` in O(buckets) time — every field is read
+from a counter or a fixed-size histogram, never from per-request history —
+so polling it per-request (the fleet-routing use case) costs microseconds
+and allocates one small object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """Point-in-time serving health of one gateway replica."""
+
+    requests: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    queue_depth_mean: float
+    queue_depth_max: float
+    loop_lag_mean_ms: float
+    loop_lag_max_ms: float
+    overload_rejections: float
+    deadline_misses: float
+    cancelled_requests: float
+    shed_rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    def overloaded(
+        self,
+        p99_budget_ms: float = math.inf,
+        shed_budget: float = 1.0,
+    ) -> bool:
+        """True when the replica is outside the given tail/shed budgets."""
+        if math.isfinite(self.p99_ms) and self.p99_ms > p99_budget_ms:
+            return True
+        return self.shed_rate > shed_budget

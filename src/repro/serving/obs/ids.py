@@ -1,0 +1,43 @@
+"""Deterministic id generation for routing and tracing: splitmix64.
+
+One finaliser, two call shapes.  :func:`splitmix64` is the vectorised
+numpy form used by the A/B bucket router (moved here from
+``repro.serving.abtest`` so the hash lives next to its other consumer);
+:func:`splitmix64_int` is the scalar pure-Python form the tracer uses to
+derive trace and span ids without paying numpy dispatch per request.
+
+Both produce identical output for the same input: the classic splitmix64
+finaliser (Steele et al.), whose constants assume wrapping mod-2^64
+arithmetic — numpy's uint64 wraps silently, the scalar form masks
+explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: The splitmix64 stream increment ("golden gamma"); successive ids are
+#: finalize(seed + n * GOLDEN_GAMMA), which is the canonical generator.
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser: uint64 -> well-mixed uint64.
+
+    Unsigned numpy arithmetic wraps silently, which is exactly the mod-2^64
+    behaviour the constants assume.
+    """
+    z = values + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def splitmix64_int(value: int) -> int:
+    """Scalar splitmix64 finaliser: int -> well-mixed 64-bit int."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)

@@ -86,29 +86,47 @@ class ShardedGateway(ServingGateway):
     # Scatter/gather backend search
     # ------------------------------------------------------------------ #
     def _search_backend(
-        self, snapshot, query_matrix: np.ndarray, k: int
+        self, snapshot, query_matrix: np.ndarray, k: int, spans=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Scatter the batch to all shards, gather, exact-merge the top-K.
 
         Each reply carries the version the shard actually served; anything
         other than exactly the pinned snapshot version on every shard is a
-        consistency violation and fails the batch.
+        consistency violation and fails the batch.  When ``spans`` is a
+        traced batch, the pool receives the pipe-portable trace context and
+        every reply carries a worker-side child span.
         """
-        replies = self.pool.search(snapshot.version, query_matrix, k)
-        return self._merge_replies(snapshot, query_matrix.shape[0], replies, k)
+        trace_ctx = spans.pipe_context() if spans is not None else None
+        t0 = spans.clock() if spans is not None else 0.0
+        replies = self.pool.search(
+            snapshot.version, query_matrix, k, trace_ctx=trace_ctx
+        )
+        t1 = spans.clock() if spans is not None else 0.0
+        return self._merge_replies(
+            snapshot, query_matrix.shape[0], replies, k,
+            spans=spans, window=(t0, t1),
+        )
 
     async def _search_backend_async(
-        self, snapshot, query_matrix: np.ndarray, k: int
+        self, snapshot, query_matrix: np.ndarray, k: int, spans=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """The asyncio-native scatter/gather: shard work overlaps via the
         event loop (executor futures for in-process workers, pipe-fd readers
         for the process backend) instead of a thread fan-out, then the same
         exact merge and version check as the sync path."""
-        replies = await self.pool.search_async(snapshot.version, query_matrix, k)
-        return self._merge_replies(snapshot, query_matrix.shape[0], replies, k)
+        trace_ctx = spans.pipe_context() if spans is not None else None
+        t0 = spans.clock() if spans is not None else 0.0
+        replies = await self.pool.search_async(
+            snapshot.version, query_matrix, k, trace_ctx=trace_ctx
+        )
+        t1 = spans.clock() if spans is not None else 0.0
+        return self._merge_replies(
+            snapshot, query_matrix.shape[0], replies, k,
+            spans=spans, window=(t0, t1),
+        )
 
     def _merge_replies(
-        self, snapshot, num_queries: int, replies, k: int
+        self, snapshot, num_queries: int, replies, k: int, spans=None, window=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         served = {reply.version for reply in replies}
         if served != {snapshot.version}:
@@ -123,11 +141,33 @@ class ShardedGateway(ServingGateway):
                 queries=num_queries,
                 candidates=int((reply.ids >= 0).sum()),
             )
-        return merge_top_k(
+        if spans is not None:
+            t0, t1 = window
+            scatter = spans.add("scatter", t0, t1, shards=len(replies))
+            for reply in replies:
+                if reply.span is None:
+                    continue
+                # Worker clocks are not ours: keep the measured duration,
+                # anchor the child at the scatter start, clamp to the
+                # observed window so parents always contain children.
+                duration = reply.span["end_s"] - reply.span["start_s"]
+                spans.add(
+                    "shard_worker",
+                    t0,
+                    min(t0 + max(duration, 0.0), t1),
+                    parent=scatter,
+                    shard=reply.span["shard"],
+                    **reply.span["attrs"],
+                )
+            m0 = spans.clock()
+        merged = merge_top_k(
             [reply.ids for reply in replies],
             [reply.scores for reply in replies],
             k,
         )
+        if spans is not None:
+            spans.add("merge", m0, spans.clock(), shards=len(replies), k=k)
+        return merged
 
     # ------------------------------------------------------------------ #
     # Reporting / lifecycle

@@ -40,6 +40,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.serving.gateway.store import StaleVersionError
+from repro.serving.obs.tracing import worker_span
 from repro.serving.quant.scalar import Int8Table
 from repro.serving.sharded.worker import ShardWorker
 
@@ -48,13 +49,21 @@ WORKER_KINDS = ("serial", "thread", "process", "auto")
 
 @dataclass(frozen=True)
 class ShardReply:
-    """One shard's answer to a scattered micro-batch."""
+    """One shard's answer to a scattered micro-batch.
+
+    ``span`` is the worker-side trace span dict
+    (:func:`~repro.serving.obs.tracing.worker_span`) when the scatter
+    carried a trace context, else ``None``.  Its timestamps are on the
+    worker's own clock; the gateway re-anchors them inside the scatter
+    window when grafting.
+    """
 
     shard: int
     ids: np.ndarray
     scores: np.ndarray
     version: int
     latency_s: float
+    span: Optional[dict] = None
 
 
 def resolve_workers(kind: str) -> str:
@@ -104,19 +113,33 @@ class WorkerPool:
     def retire(self, version: int) -> None:
         raise NotImplementedError
 
-    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
+    def search(
+        self,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
+    ) -> List[ShardReply]:
         raise NotImplementedError
 
     async def search_async(
-        self, version: int, queries: np.ndarray, k: int
+        self,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> List[ShardReply]:
         """Async scatter/gather; the base runs the sync scatter inline.
 
         The serial backend has nothing to overlap, so inline is exact; the
         thread and process backends override this so per-shard work overlaps
         on the caller's event loop instead of a thread fan-out.
+
+        ``trace_ctx`` is the ``(trace-context id, parent span id)`` pair of
+        a traced scatter; when present, every reply carries a worker-side
+        span dict.
         """
-        return self.search(version, queries, k)
+        return self.search(version, queries, k, trace_ctx=trace_ctx)
 
     def close(self) -> None:
         """Release every worker resource; idempotent."""
@@ -166,20 +189,42 @@ class SerialPool(WorkerPool):
             worker.retire(version)
 
     def _one(
-        self, worker: ShardWorker, version: int, queries: np.ndarray, k: int
+        self,
+        worker: ShardWorker,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> ShardReply:
         started = time.perf_counter()
         ids, scores = worker.search(version, queries, k)
+        ended = time.perf_counter()
+        span = None
+        if trace_ctx is not None:
+            span = worker_span(
+                trace_ctx, worker.shard, started, ended,
+                queries=queries.shape[0], version=version,
+            )
         return ShardReply(
             shard=worker.shard,
             ids=ids,
             scores=scores,
             version=version,
-            latency_s=time.perf_counter() - started,
+            latency_s=ended - started,
+            span=span,
         )
 
-    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
-        return [self._one(worker, version, queries, k) for worker in self.workers]
+    def search(
+        self,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
+    ) -> List[ShardReply]:
+        return [
+            self._one(worker, version, queries, k, trace_ctx)
+            for worker in self.workers
+        ]
 
 
 class ThreadPool(SerialPool):
@@ -198,15 +243,25 @@ class ThreadPool(SerialPool):
             max_workers=num_shards, thread_name_prefix="shard-worker"
         )
 
-    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
+    def search(
+        self,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
+    ) -> List[ShardReply]:
         futures = [
-            self._executor.submit(self._one, worker, version, queries, k)
+            self._executor.submit(self._one, worker, version, queries, k, trace_ctx)
             for worker in self.workers
         ]
         return [future.result() for future in futures]
 
     async def search_async(
-        self, version: int, queries: np.ndarray, k: int
+        self,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> List[ShardReply]:
         """Per-shard scans overlap as loop-awaited executor futures."""
         loop = asyncio.get_running_loop()
@@ -214,7 +269,13 @@ class ThreadPool(SerialPool):
             await asyncio.gather(
                 *(
                     loop.run_in_executor(
-                        self._executor, self._one, worker, version, queries, k
+                        self._executor,
+                        self._one,
+                        worker,
+                        version,
+                        queries,
+                        k,
+                        trace_ctx,
                     )
                     for worker in self.workers
                 )
@@ -299,11 +360,20 @@ def _shard_worker_main(  # pragma: no cover - runs in a child process
                 worker.retire(message[1])
                 conn.send(("ok",))
             elif op == "search":
-                _, version, k, queries = message
+                _, version, k, queries, trace_ctx = message
                 started = time.perf_counter()
                 ids, scores = worker.search(version, queries, k)
-                latency_s = time.perf_counter() - started
-                conn.send(("result", ids, scores, version, latency_s))
+                ended = time.perf_counter()
+                span = None
+                if trace_ctx is not None:
+                    # The worker's child span crosses the pipe as a plain
+                    # dict; its clock is this process's perf_counter, so
+                    # the parent re-anchors it inside the scatter window.
+                    span = worker_span(
+                        trace_ctx, shard, started, ended,
+                        queries=queries.shape[0], version=version,
+                    )
+                conn.send(("result", ids, scores, version, ended - started, span))
             elif op == "stop":
                 conn.send(("ok",))
                 return
@@ -455,12 +525,18 @@ class ProcessPool(WorkerPool):
     # ------------------------------------------------------------------ #
     # Scatter/gather
     # ------------------------------------------------------------------ #
-    def search(self, version: int, queries: np.ndarray, k: int) -> List[ShardReply]:
+    def search(
+        self,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
+    ) -> List[ShardReply]:
         queries = np.ascontiguousarray(queries)
         with self._io_lock:
             self._drain_stale()
             for conn in self._conns:
-                conn.send(("search", version, int(k), queries))
+                conn.send(("search", version, int(k), queries, trace_ctx))
             raw_replies = self._recv_all()
         return self._replies_from_raw(raw_replies)
 
@@ -468,7 +544,7 @@ class ProcessPool(WorkerPool):
     def _replies_from_raw(raw_replies: List[tuple]) -> List[ShardReply]:
         replies = []
         for shard, reply in enumerate(raw_replies):
-            tag, ids, scores, served_version, latency_s = reply
+            tag, ids, scores, served_version, latency_s, span = reply
             if tag != "result":
                 raise RuntimeError(f"shard worker {shard} replied {tag!r}")
             replies.append(
@@ -478,6 +554,7 @@ class ProcessPool(WorkerPool):
                     scores=scores,
                     version=served_version,
                     latency_s=latency_s,
+                    span=span,
                 )
             )
         return replies
@@ -528,7 +605,11 @@ class ProcessPool(WorkerPool):
         return [self._checked(shard, reply) for shard, reply in enumerate(gathered)]
 
     async def search_async(
-        self, version: int, queries: np.ndarray, k: int
+        self,
+        version: int,
+        queries: np.ndarray,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> List[ShardReply]:
         """Scatter on the loop; per-shard replies overlap via fd readers.
 
@@ -543,10 +624,16 @@ class ProcessPool(WorkerPool):
         cancellation surface to the caller.
         """
         queries = np.ascontiguousarray(queries)
-        return await asyncio.shield(self._search_cycle(queries, version, int(k)))
+        return await asyncio.shield(
+            self._search_cycle(queries, version, int(k), trace_ctx)
+        )
 
     async def _search_cycle(
-        self, queries: np.ndarray, version: int, k: int
+        self,
+        queries: np.ndarray,
+        version: int,
+        k: int,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> List[ShardReply]:
         loop = asyncio.get_running_loop()
         acquire = loop.run_in_executor(None, self._io_lock.acquire)
@@ -565,7 +652,7 @@ class ProcessPool(WorkerPool):
         try:
             self._drain_stale()
             for conn in self._conns:
-                conn.send(("search", version, k, queries))
+                conn.send(("search", version, k, queries, trace_ctx))
             raw_replies = await self._recv_all_async()
         finally:
             self._io_lock.release()
