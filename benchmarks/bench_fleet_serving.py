@@ -1,0 +1,314 @@
+"""Benchmark: the replicated gateway fleet under scale-out and chaos.
+
+The ROADMAP's replication item: one gateway process is both the throughput
+ceiling and a single point of failure.  The fleet tier
+(:mod:`repro.serving.fleet`) puts a health-aware rendezvous router in front
+of N gateway replicas; this bench measures what that buys and proves what
+it promises, in four phases over the shared Zipf workload:
+
+* **scaling** — closed-loop aggregate QPS through 1, 2 and 4 replicas
+  (distinct sessions, so rendezvous spreads the stream).  Replicas score
+  in released-GIL numpy on thread executors, so the ratio tracks physical
+  cores: the payload records ``cpu_count`` and the >= 1.3x two-replica
+  gate applies only where a second core exists to pay for it.
+* **degraded** — open-loop Poisson traffic with one replica slow-rolled
+  4x: the router's health probes must eject or route around it, keeping
+  p99 finite and shed bounded while a third of the fleet is limping.
+* **chaos kill** — a flash-crowd storm with a seeded mid-storm ``kill``
+  of one replica.  Gates: the request ledger conserves (every admitted
+  request is answered or explicitly shed — zero lost), the dead replica
+  ends the storm ejected, and fleet telemetry counts each answered
+  request exactly once (no double counting across failover retries).
+* **chaos stall** — the same storm with a mid-storm pipeline freeze
+  instead of a death: deadline shedding must keep p99 finite.
+
+Results are persisted to ``benchmarks/results/fleet_serving.json``.
+
+Runnable standalone with the uniform bench flags::
+
+    python -m benchmarks.bench_fleet_serving [--smoke] [--seed N] [--out P]
+
+``--smoke`` is the CI gate: reduced catalogue, replica counts (1, 2), and
+the hard gates above at pull-request latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+
+from benchmarks.bench_args import RESULTS_DIR, parse_bench_args, require, write_json
+from benchmarks.serving_load import (
+    drive_concurrent,
+    drive_flash_crowd,
+    drive_open_loop,
+    make_workload,
+)
+from repro.eval.reporting import format_float_table
+from repro.serving.fleet import ChaosController, ChaosEvent, FleetRouter, HealthPolicy
+from repro.serving.gateway import ServingGateway, VersionedEmbeddingStore
+
+#: Full scale: the tracked results/fleet_serving.json workload.
+FULL = dict(
+    num_queries=2_000,
+    num_services=12_000,
+    dim=48,
+    num_requests=4_096,
+    storm_requests=2_048,
+    batch_size=32,
+    top_k=10,
+    concurrency=128,
+    replica_counts=(1, 2, 4),
+    fleet_size=3,
+    base_qps=400.0,
+    spike_factor=10.0,
+    deadline_s=0.25,
+    slow_factor=4.0,
+    stall_s=0.3,
+)
+#: Smoke scale: small enough for a per-PR CI gate, large enough that the
+#: storms genuinely overload and the scaling ratio is meaningful.
+SMOKE = dict(
+    num_queries=500,
+    num_services=3_000,
+    dim=32,
+    num_requests=1_024,
+    storm_requests=512,
+    batch_size=32,
+    top_k=10,
+    concurrency=64,
+    replica_counts=(1, 2),
+    fleet_size=3,
+    base_qps=300.0,
+    spike_factor=8.0,
+    deadline_s=0.25,
+    slow_factor=4.0,
+    stall_s=0.2,
+)
+
+#: Two replicas must pay for themselves where a second core exists.
+SCALING_FLOOR = 1.3
+
+
+def make_fleet(queries, services, num_replicas, params, policy=None,
+               **overrides) -> FleetRouter:
+    """N gateway replicas over one shared store behind a fleet router."""
+    store = VersionedEmbeddingStore(queries, services)
+    kwargs = dict(
+        index="exact",
+        top_k=params["top_k"],
+        max_batch_size=params["batch_size"],
+        cache_capacity=0,
+        cpu_executor="thread",
+        loop_confined=True,
+    )
+    kwargs.update(overrides)
+    gateways = {
+        f"replica-{i}": ServingGateway(store, **kwargs)
+        for i in range(num_replicas)
+    }
+    return FleetRouter(gateways, policy=policy)
+
+
+def run_scaling(queries, services, stream, params) -> list:
+    """Closed-loop aggregate QPS per replica count (distinct sessions)."""
+    rows = []
+    # Closed-loop saturation keeps every queue at its admission bound by
+    # design; budget the health score above it so uniform saturation is
+    # not mistaken for a degraded replica.
+    policy = HealthPolicy(queue_budget=float(4 * params["concurrency"]))
+    for num_replicas in params["replica_counts"]:
+        fleet = make_fleet(
+            queries, services, num_replicas, params, policy=policy,
+            max_queue=2 * params["concurrency"], overload="wait",
+        )
+        try:
+            report = asyncio.run(drive_concurrent(
+                fleet, stream, params["concurrency"], deadline_s=10.0,
+                session_ids=range(len(stream)),
+            ))
+        finally:
+            fleet.close()
+        rows.append({
+            "mode": f"fleet_{num_replicas}",
+            "replicas": num_replicas,
+            **report,
+        })
+    return rows
+
+
+def run_degraded(queries, services, stream, params, seed) -> dict:
+    """Open-loop Poisson traffic with one replica slow-rolled 4x."""
+    fleet = make_fleet(queries, services, params["fleet_size"], params,
+                       max_queue=256, overload="reject")
+    try:
+        fleet.replica("replica-0").slow(params["slow_factor"])
+        report = asyncio.run(drive_open_loop(
+            fleet, stream, params["base_qps"],
+            deadline_s=params["deadline_s"], seed=seed + 3,
+            session_ids=range(len(stream)),
+        ))
+        summary = fleet.summary()
+    finally:
+        fleet.close()
+    return {
+        "mode": "degraded_slow",
+        "replicas": params["fleet_size"],
+        **report,
+        "ejections": summary["ejections"],
+        "fallback_routes": summary["fallback_routes"],
+    }
+
+
+def run_storm(queries, services, stream, params, seed, action) -> dict:
+    """Flash-crowd storm with a seeded mid-storm fault (kill or stall)."""
+    policy = HealthPolicy(probe_interval_s=0.02)
+    fleet = make_fleet(queries, services, params["fleet_size"], params,
+                       policy=policy, max_queue=256, overload="reject")
+    try:
+        storm_s = len(stream) / params["base_qps"]
+        if action == "kill":
+            ChaosController.seeded_storm(fleet, seed=seed + 7, storm_s=storm_s)
+        else:
+            ChaosController(fleet, [
+                ChaosEvent(at_s=0.4 * storm_s, action="stall",
+                           replica="replica-1",
+                           duration_s=params["stall_s"]),
+            ])
+        fleet.chaos.arm()
+        report = asyncio.run(drive_flash_crowd(
+            fleet, stream, params["base_qps"],
+            spike_factor=params["spike_factor"],
+            deadline_s=params["deadline_s"], seed=seed + 5,
+            session_ids=range(len(stream)),
+        ))
+        summary = fleet.summary()
+        replica_rows = fleet.replica_rows()
+        chaos_log = fleet.chaos.log()
+    finally:
+        fleet.close()
+    accounted = (report["completed"] + report["rejected_overload"]
+                 + report["deadline_missed"])
+    return {
+        "mode": f"chaos_{action}",
+        "replicas": params["fleet_size"],
+        **report,
+        "accounted": accounted,
+        "lost": report["requests"] - accounted,
+        "fleet_requests": summary["requests"],
+        "failovers": summary["failovers"],
+        "ejections": summary["ejections"],
+        "dead_ejected": float(any(
+            row["state"] == "ejected" and row["reason"] == "dead"
+            for row in replica_rows
+        )),
+        "chaos_events": chaos_log,
+    }
+
+
+def run_bench(params, seed: int) -> dict:
+    queries, services, stream = make_workload(params, seed)
+    storm_stream = stream[: params["storm_requests"]]
+    scaling_rows = run_scaling(queries, services, stream, params)
+    qps = {row["replicas"]: row["sustained_qps"] for row in scaling_rows}
+    base = qps[params["replica_counts"][0]]
+    rows = list(scaling_rows)
+    rows.append(run_degraded(queries, services, storm_stream, params, seed))
+    rows.append(run_storm(queries, services, storm_stream, params, seed, "kill"))
+    rows.append(run_storm(queries, services, storm_stream, params, seed, "stall"))
+    return {
+        "workload": dict(params, distribution="zipf(1.1)"),
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "results": rows,
+        "qps_scaling_vs_single": {
+            str(count): qps[count] / base for count in params["replica_counts"]
+        },
+    }
+
+
+def _table_rows(payload: dict) -> list:
+    keep = ("mode", "replicas", "requests", "completed", "rejected_overload",
+            "deadline_missed", "sustained_qps", "p50_ms", "p99_ms")
+    return [
+        {key: row[key] for key in keep if key in row}
+        for row in payload["results"]
+    ]
+
+
+def check_gates(payload: dict, params: dict, check) -> None:
+    """The fleet contract, smoke and full alike (``check`` = require/assert)."""
+    by_mode = {row["mode"]: row for row in payload["results"]}
+    kill, stall = by_mode["chaos_kill"], by_mode["chaos_stall"]
+    degraded = by_mode["degraded_slow"]
+    check(kill["lost"] == 0,
+          f"chaos kill lost {kill['lost']} requests (must be 0)")
+    check(kill["fleet_requests"] == kill["completed"],
+          "fleet telemetry must count each answered request exactly once")
+    check(kill["dead_ejected"] == 1.0,
+          "the killed replica must end the storm ejected as dead")
+    check(stall["lost"] == 0,
+          f"chaos stall lost {stall['lost']} requests (must be 0)")
+    check(math.isfinite(stall["p99_ms"]) and stall["completed"] > 0,
+          "p99 must stay finite with one replica stalled mid-storm")
+    check(math.isfinite(degraded["p99_ms"]) and degraded["completed"] > 0,
+          "p99 must stay finite with one replica slow-rolled")
+    counts = params["replica_counts"]
+    if (os.cpu_count() or 1) >= 2:
+        ratio = payload["qps_scaling_vs_single"][str(counts[1])]
+        check(ratio >= SCALING_FLOOR,
+              f"{counts[1]}-replica QPS ratio {ratio:.3f} < {SCALING_FLOOR} "
+              f"on {os.cpu_count()} cores")
+
+
+def test_fleet_serving(benchmark):
+    payload = benchmark.pedantic(run_bench, args=(FULL, 0), rounds=1,
+                                 iterations=1)
+    if (os.cpu_count() or 1) >= 2:
+        ratio = payload["qps_scaling_vs_single"]["2"]
+        if ratio < SCALING_FLOOR:
+            # One retry separates a noisy neighbour from a regression.
+            payload = run_bench(FULL, 0)
+    print("\n" + format_float_table(
+        _table_rows(payload),
+        title=f"Fleet serving: {FULL['num_requests']} Zipf requests, "
+              f"{FULL['num_services']} services, "
+              f"replicas {FULL['replica_counts']}, K={FULL['top_k']}",
+    ))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fleet_serving.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    def gate(condition, message):
+        assert condition, message
+
+    check_gates(payload, FULL, gate)
+
+
+def main(argv=None):
+    args = parse_bench_args("fleet_serving", __doc__, argv)
+    params = SMOKE if args.smoke else FULL
+    payload = run_bench(params, args.seed)
+    if (os.cpu_count() or 1) >= 2:
+        ratio = payload["qps_scaling_vs_single"][str(params["replica_counts"][1])]
+        if ratio < SCALING_FLOOR:
+            # One retry before failing the gate: CI neighbours are noisy.
+            payload = run_bench(params, args.seed)
+    label = "smoke" if args.smoke else "full"
+    print(format_float_table(
+        _table_rows(payload),
+        title=f"Fleet serving ({label}): {params['num_requests']} Zipf "
+              f"requests, {params['num_services']} services, "
+              f"replicas {params['replica_counts']}, K={params['top_k']}",
+    ))
+    write_json(args.out, payload)
+    print(f"wrote {args.out}")
+    check_gates(payload, params, require)
+    print("bench gates passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,13 @@ Three drive protocols:
   longer adapts to the server, so overload actually builds queues — which
   is what the admission-control, deadline and backpressure metrics need
   in order to mean anything.
+* :func:`drive_flash_crowd` — the open loop under a flash crowd: a
+  windowed slice of the stream arrives at ``spike_factor`` times the
+  base rate (gaps from the shared
+  :func:`repro.serving.gateway.workload.flash_crowd_gaps`, the same
+  shape the A/B tier replays).  This is the storm driver the fleet
+  bench uses: sustained overload that a single replica must shed and a
+  fleet must absorb.
 """
 
 from __future__ import annotations
@@ -29,12 +36,12 @@ from __future__ import annotations
 import asyncio
 import time
 
-import numpy as np
-
 from repro.serving.gateway import (
     DeadlineExceededError,
     OverloadError,
     clustered_embeddings,
+    flash_crowd_gaps,
+    poisson_gaps,
     zipf_query_ids,
 )
 from repro.serving.obs.metrics import sample_percentiles_ms
@@ -140,10 +147,15 @@ class _AsyncLoadState:
         )
 
 
-async def _one_request(gateway, query_id: int, deadline_s, state: _AsyncLoadState):
+async def _one_request(
+    gateway, query_id: int, deadline_s, state: _AsyncLoadState, session_id=None
+):
+    # session_id is only passed when given: the single-gateway API has no
+    # session concept, the fleet router keys rendezvous routing on it.
+    kwargs = {} if session_id is None else {"session_id": int(session_id)}
     started = state.enter()
     try:
-        await gateway.search_async(int(query_id), deadline_s=deadline_s)
+        await gateway.search_async(int(query_id), deadline_s=deadline_s, **kwargs)
     except OverloadError:
         state.rejected += 1
         state.in_flight -= 1
@@ -154,21 +166,29 @@ async def _one_request(gateway, query_id: int, deadline_s, state: _AsyncLoadStat
         state.leave_ok(started)
 
 
-async def drive_concurrent(gateway, stream, concurrency: int, deadline_s=None) -> dict:
+async def drive_concurrent(
+    gateway, stream, concurrency: int, deadline_s=None, session_ids=None
+) -> dict:
     """Hold up to ``concurrency`` requests in flight on the current loop.
 
     Returns a report dict with sustained QPS, latency percentiles, the
-    in-flight high-water mark and the shed-request counters.
+    in-flight high-water mark and the shed-request counters.  Pass
+    ``session_ids`` (one per request) when ``gateway`` is a fleet router —
+    distinct sessions are what rendezvous routing spreads over replicas.
     """
     state = _AsyncLoadState()
     semaphore = asyncio.Semaphore(concurrency)
+    sessions = [None] * len(stream) if session_ids is None else list(session_ids)
 
-    async def bounded(query_id) -> None:
+    async def bounded(query_id, session_id) -> None:
         async with semaphore:
-            await _one_request(gateway, query_id, deadline_s, state)
+            await _one_request(gateway, query_id, deadline_s, state, session_id)
 
     started = time.perf_counter()
-    tasks = [asyncio.ensure_future(bounded(query_id)) for query_id in stream]
+    tasks = [
+        asyncio.ensure_future(bounded(query_id, session_id))
+        for query_id, session_id in zip(stream, sessions)
+    ]
     await asyncio.gather(*tasks)
     # Timestamp before the drain: the thread path's report excludes its
     # scheduler stop too, so the modes' sustained_qps stay comparable.
@@ -177,8 +197,33 @@ async def drive_concurrent(gateway, stream, concurrency: int, deadline_s=None) -
     return state.report(elapsed, len(stream))
 
 
+async def _drive_arrivals(gateway, stream, gaps, deadline_s, session_ids=None) -> dict:
+    """Submit the stream at the given inter-arrival gaps (open loop)."""
+    state = _AsyncLoadState()
+    loop = asyncio.get_running_loop()
+    sessions = [None] * len(stream) if session_ids is None else list(session_ids)
+    started = time.perf_counter()
+    next_at = loop.time()
+    tasks = []
+    for gap, query_id, session_id in zip(gaps, stream, sessions):
+        next_at += float(gap)
+        delay = next_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                _one_request(gateway, query_id, deadline_s, state, session_id)
+            )
+        )
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+    await gateway.stop_async()
+    return state.report(elapsed, len(stream))
+
+
 async def drive_open_loop(
-    gateway, stream, rate_qps: float, deadline_s=None, seed: int = 0
+    gateway, stream, rate_qps: float, deadline_s=None, seed: int = 0,
+    session_ids=None,
 ) -> dict:
     """Arrival-rate-driven (open-loop) load: Poisson arrivals at ``rate_qps``.
 
@@ -188,26 +233,44 @@ async def drive_open_loop(
     drive loops cannot reproduce.  Returns the same report shape as
     :func:`drive_concurrent` plus the offered rate.
     """
-    if rate_qps <= 0:
-        raise ValueError("rate_qps must be positive")
-    rng = np.random.default_rng(seed)
-    gaps = rng.exponential(1.0 / rate_qps, size=len(stream))
-    state = _AsyncLoadState()
-    loop = asyncio.get_running_loop()
-    started = time.perf_counter()
-    next_at = loop.time()
-    tasks = []
-    for gap, query_id in zip(gaps, stream):
-        next_at += float(gap)
-        delay = next_at - loop.time()
-        if delay > 0:
-            await asyncio.sleep(delay)
-        tasks.append(
-            asyncio.ensure_future(_one_request(gateway, query_id, deadline_s, state))
-        )
-    await asyncio.gather(*tasks)
-    elapsed = time.perf_counter() - started
-    await gateway.stop_async()
-    report = state.report(elapsed, len(stream))
+    gaps = poisson_gaps(len(stream), rate_qps, seed=seed)
+    report = await _drive_arrivals(
+        gateway, stream, gaps, deadline_s, session_ids=session_ids
+    )
     report["offered_qps"] = float(rate_qps)
+    return report
+
+
+async def drive_flash_crowd(
+    gateway,
+    stream,
+    base_qps: float,
+    spike_factor: float = 10.0,
+    spike_start: float = 0.45,
+    spike_width: float = 0.1,
+    deadline_s=None,
+    seed: int = 0,
+    session_ids=None,
+) -> dict:
+    """Open-loop flash crowd: a 10x (by default) rate spike mid-stream.
+
+    Arrivals outside the spike window follow the Poisson base rate; the
+    windowed slice of the stream arrives ``spike_factor`` times faster.
+    The report adds the offered base/spike rates so a bench can relate
+    shed counters to the overload it actually offered.
+    """
+    gaps = flash_crowd_gaps(
+        len(stream),
+        base_qps,
+        spike_factor=spike_factor,
+        spike_start=spike_start,
+        spike_width=spike_width,
+        seed=seed,
+    )
+    report = await _drive_arrivals(
+        gateway, stream, gaps, deadline_s, session_ids=session_ids
+    )
+    report["offered_qps"] = float(base_qps)
+    report["spike_qps"] = float(base_qps * spike_factor)
+    report["spike_window"] = [float(spike_start), float(spike_start + spike_width)]
     return report

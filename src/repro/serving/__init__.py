@@ -24,7 +24,13 @@ overlaps per-shard work on the event loop for async callers.  The
 experimentation tier lives in :mod:`repro.serving.abtest`: deterministic
 bucketed traffic routing over gateway arms with joint CTR + serving-cost
 reporting (the paper's Fig. 10 bucket test replayed *through* the serving
-stack).  The observability substrate lives in :mod:`repro.serving.obs`:
+stack).  The replicated tier lives in :mod:`repro.serving.fleet`: a
+health-aware :class:`FleetRouter` front-end over N gateway replicas
+(rendezvous session routing, least-loaded fallback, hysteretic
+ejection/readmission, bounded retry-on-failover) plus a seeded chaos
+controller that proves no request is lost when a replica dies, stalls,
+or slow-rolls mid-storm.  The observability substrate lives in
+:mod:`repro.serving.obs`:
 a bounded metrics core (counters / gauges / log-bucketed histograms with
 Prometheus + JSON export), end-to-end request tracing from the gateway
 through shard workers, and a tail-sampling flight recorder with a
@@ -40,6 +46,14 @@ from repro.serving.abtest import (
 )
 from repro.serving.embedding_store import EmbeddingStore
 from repro.serving.feature_extractor import NodeFeatureExtractor, RelationExtractor
+from repro.serving.fleet import (
+    ChaosController,
+    FleetRouter,
+    FleetUnavailableError,
+    HealthPolicy,
+    ReplicaDeadError,
+    deploy_fleet,
+)
 from repro.serving.gateway import (
     ServingGateway,
     VersionedEmbeddingStore,
@@ -59,12 +73,17 @@ from repro.serving.sharded import ShardedGateway, ShardedRetriever
 __all__ = [
     "ABExperimentConfig",
     "BucketRouter",
+    "ChaosController",
     "EmbeddingStore",
+    "FleetRouter",
+    "FleetUnavailableError",
     "FlightRecorder",
     "GatewayABReport",
+    "HealthPolicy",
     "HealthSnapshot",
     "MetricsRegistry",
     "OnlineABExperiment",
+    "ReplicaDeadError",
     "InnerProductRetriever",
     "ModelScoringRetriever",
     "NodeFeatureExtractor",
@@ -77,6 +96,7 @@ __all__ = [
     "ShardedGateway",
     "ShardedRetriever",
     "VersionedEmbeddingStore",
+    "deploy_fleet",
     "deploy_gateway",
     "deploy_model",
 ]

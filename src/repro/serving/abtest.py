@@ -17,9 +17,11 @@ Three pieces:
   control/treatment) with a deterministic, salt-mixed splitmix64 hash of
   the session/user id, so the same id lands in the same bucket on every
   rerun, every process, and every replay of the log.  Each bucket routes
-  to its own *arm* — any gateway-like object (single-process, sharded, or
+  to its own *arm* — any gateway-like object (single-process, sharded, a
+  replicated fleet behind a :class:`repro.serving.fleet.FleetRouter`, or
   one shared gateway for an A/A test; arms may serve different models or
-  the same model under different index/quantization configurations).
+  the same model under different index/quantization/replication
+  configurations).
 * :class:`OnlineABExperiment` — replays day-partitioned session streams
   *open-loop* (seeded Poisson arrivals) through ``search_async``, tags
   every request with its bucket, and scores the returned top-K list
@@ -41,7 +43,6 @@ which is exactly the coupling the joint report exists to expose.
 from __future__ import annotations
 
 import asyncio
-import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -55,46 +56,15 @@ from repro.eval.ab_test import (
     simulate_impressions,
 )
 from repro.serving.gateway import DeadlineExceededError, OverloadError
-from repro.serving.obs.ids import splitmix64 as _splitmix64
+from repro.serving.gateway.workload import flash_crowd_gaps, poisson_gaps
+from repro.serving.obs.ids import ids_to_u64, key_to_u64, mix64, mix64_int
 
 #: Position-bias discounts applied per top-K slot (mirrors ABTestConfig).
 DEFAULT_POSITION_BIAS: Tuple[float, ...] = (1.0, 0.75, 0.55, 0.4, 0.3)
 
 _SPLIT_TOLERANCE = 1e-6
 
-
-def _salt_to_u64(salt) -> np.uint64:
-    """Any salt (int, str, ...) to one stable uint64 mix-in.
-
-    Python's builtin ``hash`` is randomized per process for strings, so the
-    digest goes through blake2b — the same salt buckets the same ids in
-    every process, which is what makes a routed traffic log replayable.
-    """
-    if isinstance(salt, (int, np.integer)):
-        return np.uint64(int(salt) & 0xFFFFFFFFFFFFFFFF)
-    digest = hashlib.blake2b(str(salt).encode("utf-8"), digest_size=8).digest()
-    return np.uint64(int.from_bytes(digest, "little"))
-
-
-def _ids_to_u64(session_ids: Sequence) -> np.ndarray:
-    """Session/user ids to uint64 hash inputs (ints vectorised, strs hashed)."""
-    array = np.asarray(session_ids)
-    if array.ndim == 0:
-        array = array[None]
-    if np.issubdtype(array.dtype, np.integer):
-        return array.astype(np.int64).view(np.uint64) \
-            if array.dtype == np.int64 else array.astype(np.uint64)
-    return np.fromiter(
-        (
-            int.from_bytes(
-                hashlib.blake2b(str(value).encode("utf-8"), digest_size=8).digest(),
-                "little",
-            )
-            for value in array
-        ),
-        dtype=np.uint64,
-        count=array.size,
-    )
+_LOAD_SHAPES = ("poisson", "flash_crowd")
 
 
 class BucketRouter:
@@ -128,7 +98,9 @@ class BucketRouter:
         # float-sum gap can leave a fraction unassigned.
         self._boundaries = np.cumsum(fractions)
         self._boundaries[-1] = 1.0
-        self._salt = _splitmix64(np.asarray([_salt_to_u64(salt)]))[0]
+        # Finalise the raw salt once; per-id hashing is then one shared
+        # mix64 (identical to the fleet's rendezvous primitive).
+        self._salt = mix64_int(key_to_u64(salt))
         if arms is not None and set(arms) != set(self.buckets):
             raise ValueError(
                 f"arms must be keyed exactly by the split buckets "
@@ -138,7 +110,7 @@ class BucketRouter:
 
     def fractions(self, session_ids: Sequence) -> np.ndarray:
         """Deterministic uniform-[0, 1) hash fraction per session id."""
-        hashed = _splitmix64(_ids_to_u64(session_ids) ^ self._salt)
+        hashed = mix64(ids_to_u64(session_ids), self._salt)
         return hashed.astype(np.float64) / float(2**64)
 
     def assign_indices(self, session_ids: Sequence) -> np.ndarray:
@@ -195,6 +167,14 @@ class ABExperimentConfig:
     #: Per-request deadline; sessions past it are shed *before* scoring and
     #: produce no impressions (quality pays for serving cost).
     deadline_s: Optional[float] = None
+    #: Arrival shape when ``rate_qps`` is set: ``"poisson"`` (stationary)
+    #: or ``"flash_crowd"`` — a seeded window of sessions arriving at
+    #: ``spike_factor`` times the base rate (a promo burst inside the day).
+    load_shape: str = "poisson"
+    spike_factor: float = 10.0
+    #: Spike window as fractions of the day's session stream.
+    spike_start: float = 0.45
+    spike_width: float = 0.1
     position_bias: Sequence[float] = DEFAULT_POSITION_BIAS
     seed: int = 0
     control: str = "control"
@@ -208,6 +188,18 @@ class ABExperimentConfig:
             raise ValueError("position_bias must cover every slot of the top-K list")
         if self.rate_qps is not None and self.rate_qps <= 0:
             raise ValueError("rate_qps must be positive (or None for burst)")
+        if self.load_shape not in _LOAD_SHAPES:
+            raise ValueError(
+                f"load_shape must be one of {_LOAD_SHAPES}, "
+                f"got {self.load_shape!r}")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1.0")
+        if not (0.0 <= self.spike_start
+                and self.spike_start + self.spike_width <= 1.0
+                and self.spike_width > 0.0):
+            raise ValueError(
+                "the spike window [spike_start, spike_start + spike_width) "
+                "must lie inside [0, 1]")
 
 
 @dataclass
@@ -420,9 +412,17 @@ class OnlineABExperiment:
         gaps: Optional[np.ndarray] = None
         if config.rate_qps is not None:
             arrival_rng = np.random.default_rng((config.seed, 7919, day_index))
-            gaps = arrival_rng.exponential(
-                1.0 / config.rate_qps, size=len(session_ids)
-            )
+            if config.load_shape == "flash_crowd":
+                gaps = flash_crowd_gaps(
+                    len(session_ids), config.rate_qps,
+                    spike_factor=config.spike_factor,
+                    spike_start=config.spike_start,
+                    spike_width=config.spike_width, rng=arrival_rng,
+                )
+            else:
+                gaps = poisson_gaps(
+                    len(session_ids), config.rate_qps, rng=arrival_rng
+                )
         loop = asyncio.get_running_loop()
         next_at = loop.time()
         tasks = []

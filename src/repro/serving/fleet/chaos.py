@@ -1,0 +1,153 @@
+"""Seeded chaos injection for the replica fleet: kill, stall, slow-roll.
+
+A :class:`ChaosController` owns a time-ordered plan of
+:class:`ChaosEvent`\\ s against named replicas.  The plan is either written
+explicitly (acceptance tests pin exact scenarios) or drawn from a seeded
+RNG (:meth:`ChaosController.seeded_storm` — same seed, same storm), so
+every chaos run is reproducible.
+
+There is no background thread: the router calls :meth:`tick` on its
+request path (and the fleet bench between arrivals), so faults land *mid
+storm*, interleaved with live traffic — which is the point.  ``tick`` is
+O(1) when no event is due.
+
+The injected faults act at the replica's executor boundary (see
+:mod:`repro.serving.fleet.replica`), which is what makes the acceptance
+claims meaningful: a kill fails whole in-flight batches like a dead
+process, a stall blocks the batch pipeline so deadlines shed, a slow-roll
+stretches service time so the degraded replica's tail grows while the
+fleet's stays bounded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ChaosController", "ChaosEvent"]
+
+_ACTIONS = ("kill", "stall", "slow", "revive")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned fault: at ``at_s`` after arming, do ``action``."""
+
+    at_s: float
+    action: str
+    replica: str
+    #: Stall length for ``action="stall"``.
+    duration_s: float = 0.0
+    #: Service-time multiplier for ``action="slow"``.
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"action must be one of {_ACTIONS}, got {self.action!r}")
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+
+
+class ChaosController:
+    """Applies a time-ordered fault plan to a fleet's replicas.
+
+    ``controller.arm()`` starts the clock; every ``tick()`` applies the
+    events whose time has come.  The router ticks an attached controller
+    automatically on each routed request (``fleet.chaos = controller`` is
+    set by the constructor), so driving traffic *is* driving the storm.
+    """
+
+    def __init__(self, fleet, events: Sequence[ChaosEvent],
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.fleet = fleet
+        self.events: List[ChaosEvent] = sorted(events, key=lambda e: e.at_s)
+        for event in self.events:
+            fleet.replica(event.replica)  # fail fast on unknown names
+        self._clock = clock if clock is not None else fleet.clock
+        self._armed_at: Optional[float] = None
+        self._next = 0
+        self.applied: List[Tuple[float, ChaosEvent]] = []
+        fleet.chaos = self
+
+    @classmethod
+    def seeded_storm(cls, fleet, seed: int, storm_s: float,
+                     actions: Sequence[str] = ("kill",),
+                     stall_s: float = 0.25, slow_factor: float = 4.0,
+                     clock: Optional[Callable[[], float]] = None
+                     ) -> "ChaosController":
+        """A reproducible storm plan: each action hits a random replica.
+
+        Fault times are drawn uniformly from the middle (25%–75%) of the
+        storm window so they land mid-traffic, never degenerately at the
+        edges; victims are drawn per-action from the fleet's replicas.
+        ``seed`` fully determines the plan.
+        """
+        rng = np.random.default_rng(seed)
+        names = [replica.name for replica in fleet.replicas]
+        events = []
+        for action in actions:
+            at_s = float(rng.uniform(0.25, 0.75)) * storm_s
+            victim = names[int(rng.integers(len(names)))]
+            events.append(ChaosEvent(
+                at_s=at_s, action=action, replica=victim,
+                duration_s=stall_s if action == "stall" else 0.0,
+                factor=slow_factor if action == "slow" else 1.0))
+        return cls(fleet, events, clock=clock)
+
+    def arm(self, now: Optional[float] = None) -> None:
+        """Start (or restart) the storm clock; re-arming replays the plan."""
+        self._armed_at = self._clock() if now is None else now
+        self._next = 0
+        self.applied = []
+
+    @property
+    def armed(self) -> bool:
+        return self._armed_at is not None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.events)
+
+    def tick(self) -> int:
+        """Apply every due event; returns how many fired (O(1) when none)."""
+        if self._armed_at is None or self._next >= len(self.events):
+            return 0
+        elapsed = self._clock() - self._armed_at
+        fired = 0
+        while (self._next < len(self.events)
+               and self.events[self._next].at_s <= elapsed):
+            event = self.events[self._next]
+            self._apply(event)
+            self.applied.append((elapsed, event))
+            self._next += 1
+            fired += 1
+        return fired
+
+    def _apply(self, event: ChaosEvent) -> None:
+        replica = self.fleet.replica(event.replica)
+        if event.action == "kill":
+            replica.kill()
+        elif event.action == "stall":
+            replica.stall(event.duration_s)
+        elif event.action == "slow":
+            replica.slow(event.factor)
+        else:  # revive
+            replica.revive()
+
+    def log(self) -> List[dict]:
+        """The applied events as rows (bench/report friendly)."""
+        return [
+            {
+                "elapsed_s": round(elapsed, 6),
+                "action": event.action,
+                "replica": event.replica,
+                "at_s": event.at_s,
+                "duration_s": event.duration_s,
+                "factor": event.factor,
+            }
+            for elapsed, event in self.applied
+        ]

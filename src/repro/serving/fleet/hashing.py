@@ -1,0 +1,100 @@
+"""Rendezvous (highest-random-weight) hashing for session routing.
+
+Every (key, node) pair gets a deterministic pseudo-random score from the
+shared :func:`repro.serving.obs.ids.mix64` primitive (the same salt-mixed
+splitmix64 the A/B bucket router hashes session ids with); a key routes
+to the node with the highest score.  Two properties make this the right
+front-end policy for a replica fleet:
+
+* **No coordination.**  Any router instance with the same node list makes
+  the same decision — there is no ring state to replicate and no bucket
+  map to rebalance.
+* **Minimal disruption.**  Removing a node only moves the keys that node
+  owned (their new owner is their previous runner-up); every other key's
+  argmax is untouched.  Adding a node only steals the keys it now wins.
+  ``tests/test_fleet_properties.py`` checks this exactly.
+
+Weighted scores use the standard logarithmic method: node ``i`` with
+weight ``w_i`` scores ``-w_i / ln(u)`` for ``u`` uniform in (0, 1), which
+routes each key to node ``i`` with probability ``w_i / sum(w)`` in the
+limit — so capacity-skewed fleets route proportionally without a second
+hashing scheme (uniform weights reduce to plain highest-hash order).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.serving.obs.ids import key_to_u64, mix64_int
+
+__all__ = ["node_salt", "rendezvous_choose", "rendezvous_rank", "rendezvous_score"]
+
+_TWO_64 = 2.0**64
+
+
+def node_salt(node: object, salt: int = 0) -> int:
+    """The per-node mixing salt: node identity finalised under a fleet salt.
+
+    Finalising the node key decorrelates nodes whose raw keys are close
+    (e.g. ``"replica-0"`` / ``"replica-1"``), and ``salt`` lets two fleets
+    over the same node names route independently.
+    """
+    return mix64_int(key_to_u64(node), salt)
+
+
+def rendezvous_score(key: object, node: object, weight: float = 1.0,
+                     salt: int = 0) -> float:
+    """The (key, node) rendezvous score; route to the argmax over nodes.
+
+    The uniform draw is ``(h + 0.5) / 2^64`` — strictly inside (0, 1), so
+    ``ln(u)`` is finite and negative and the score is always positive.
+    """
+    if weight <= 0.0:
+        raise ValueError("rendezvous weights must be positive")
+    h = mix64_int(key_to_u64(key), node_salt(node, salt))
+    u = (h + 0.5) / _TWO_64
+    return -weight / math.log(u)
+
+
+def rendezvous_rank(key: object, nodes: Sequence[object],
+                    weights: Optional[Sequence[float]] = None,
+                    salt: int = 0) -> List[object]:
+    """All nodes in descending preference order for ``key``.
+
+    The head of the list is the key's owner; the tail is its failover
+    order — a router that must exclude attempted replicas walks down this
+    list, which keeps retry placement exactly as deterministic as primary
+    placement.
+    """
+    if not nodes:
+        raise ValueError("rendezvous_rank needs at least one node")
+    if weights is not None and len(weights) != len(nodes):
+        raise ValueError("weights must match nodes one-to-one")
+    scored = []
+    for position, node in enumerate(nodes):
+        weight = 1.0 if weights is None else float(weights[position])
+        scored.append((rendezvous_score(key, node, weight, salt), position, node))
+    # Ties are impossible in practice (64-bit scores) but the position
+    # tiebreak keeps the order total and input-order stable if they happen.
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [node for _, _, node in scored]
+
+
+def rendezvous_choose(key: object, nodes: Sequence[object],
+                      weights: Optional[Sequence[float]] = None,
+                      salt: int = 0) -> object:
+    """The owning node for ``key``: argmax of the rendezvous scores."""
+    if not nodes:
+        raise ValueError("rendezvous_choose needs at least one node")
+    if weights is not None and len(weights) != len(nodes):
+        raise ValueError("weights must match nodes one-to-one")
+    best = None
+    best_score = -math.inf
+    for position, node in enumerate(nodes):
+        weight = 1.0 if weights is None else float(weights[position])
+        score = rendezvous_score(key, node, weight, salt)
+        if score > best_score:
+            best = node
+            best_score = score
+    return best

@@ -1,0 +1,179 @@
+"""Per-replica health scoring with hysteresis: eject slow, readmit shy.
+
+The router probes each replica on a fixed cadence (lazily, from the
+request path — no background thread) and feeds two kinds of signal into a
+:class:`ReplicaHealth` tracker:
+
+* **hard failure** — the replica's probe raises ``ReplicaDeadError``
+  (process gone).  Ejection is immediate, no streak required: routing one
+  more session at a dead replica only costs a failover.
+* **soft degradation** — a *windowed* score from counter deltas between
+  probes: instantaneous queue depth against ``queue_budget`` and the shed
+  fraction of requests finished since the last probe against
+  ``shed_budget``.  Deltas matter: the gateway's cumulative histograms
+  average over the whole run, so a replica that stalls after an hour of
+  good service would look healthy forever through cumulative p99.
+
+Soft transitions are hysteretic.  A replica is ejected only after
+``eject_after`` *consecutive* probes score ≥ ``eject_score``, and
+readmitted only after ``readmit_after`` consecutive probes score ≤
+``readmit_score`` — with ``readmit_score`` strictly below ``eject_score``
+so a replica oscillating at the boundary cannot flap in and out of the
+serving set on every probe.  Cumulative :meth:`HealthPolicy.pressure`
+(p99 / queue / loop-lag / shed against budgets) ranks *healthy* replicas
+for the least-loaded fallback; the windowed score only governs
+membership.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.serving.obs.health import HealthSnapshot
+
+__all__ = ["HealthPolicy", "ReplicaHealth", "STATE_EJECTED", "STATE_UP"]
+
+STATE_UP = "up"
+STATE_EJECTED = "ejected"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Budgets and hysteresis knobs for fleet membership and fallback."""
+
+    #: Instantaneous scheduler queue depth treated as "at budget".
+    queue_budget: float = 64.0
+    #: Windowed shed fraction (overload + deadline misses) at budget.
+    shed_budget: float = 0.25
+    #: Cumulative p99 budget — pressure ranking only, not membership.
+    p99_budget_ms: float = 250.0
+    #: Cumulative mean loop lag budget — pressure ranking only.
+    loop_lag_budget_ms: float = 250.0
+    #: Soft score at/above which a probe counts toward ejection.
+    eject_score: float = 1.0
+    #: Soft score at/below which a probe counts toward readmission.
+    readmit_score: float = 0.5
+    #: Consecutive bad probes before a soft ejection.
+    eject_after: int = 2
+    #: Consecutive good probes before readmission.
+    readmit_after: int = 2
+    #: Probe cadence; probes run lazily from the request path.
+    probe_interval_s: float = 0.05
+    #: Pressure at/above which the router prefers a least-loaded fallback
+    #: over the rendezvous owner (the owner stays in the serving set).
+    fallback_pressure: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.readmit_score >= self.eject_score:
+            raise ValueError(
+                "readmit_score must be strictly below eject_score "
+                "(the hysteresis band must have width)")
+        if self.eject_after < 1 or self.readmit_after < 1:
+            raise ValueError("eject_after and readmit_after must be >= 1")
+        if self.probe_interval_s < 0:
+            raise ValueError("probe_interval_s must be >= 0")
+
+    def soft_score(self, queue_depth: float, answered_delta: float,
+                   shed_delta: float) -> float:
+        """Windowed badness: worst of queue utilisation and shed fraction."""
+        finished = answered_delta + shed_delta
+        shed_fraction = (shed_delta / finished) if finished > 0 else 0.0
+        queue_term = queue_depth / self.queue_budget if self.queue_budget > 0 else 0.0
+        shed_term = shed_fraction / self.shed_budget if self.shed_budget > 0 else 0.0
+        return max(queue_term, shed_term)
+
+    def pressure(self, snapshot: HealthSnapshot) -> float:
+        """Cumulative load of a healthy replica, for fallback ranking."""
+        return snapshot.pressure(
+            p99_budget_ms=self.p99_budget_ms,
+            queue_budget=self.queue_budget,
+            loop_lag_budget_ms=self.loop_lag_budget_ms,
+            shed_budget=self.shed_budget,
+        )
+
+
+@dataclass
+class ReplicaHealth:
+    """One replica's membership state machine (driven by the router)."""
+
+    state: str = STATE_UP
+    #: Why the replica left the serving set: ``"dead"`` or ``"degraded"``.
+    reason: str = ""
+    bad_streak: int = 0
+    good_streak: int = 0
+    #: Last windowed soft score (diagnostics / replica_rows).
+    last_score: float = 0.0
+    #: Cumulative pressure at the last probe (fallback ranking).
+    last_pressure: float = 0.0
+    #: Counter values at the last probe, for windowed deltas.
+    last_answered: float = 0.0
+    last_shed: float = 0.0
+    last_probe_at: float = -math.inf
+    transitions: int = field(default=0)
+
+    @property
+    def up(self) -> bool:
+        return self.state == STATE_UP
+
+    def mark_dead(self) -> bool:
+        """Hard ejection (dead probe or in-flight connection failure).
+
+        Returns True when this call performed the UP -> EJECTED transition
+        (so the caller counts each ejection once).  Resets the readmission
+        streak: a revived process must re-earn membership.
+        """
+        self.bad_streak = 0
+        self.good_streak = 0
+        if self.state == STATE_UP or self.reason != "dead":
+            self.reason = "dead"
+        if self.state == STATE_UP:
+            self.state = STATE_EJECTED
+            self.transitions += 1
+            return True
+        return False
+
+    def observe(self, policy: HealthPolicy, score: float,
+                pressure: float, allow_eject: bool = True) -> str:
+        """Feed one soft probe; returns ``"eject"`` / ``"readmit"`` / ``""``.
+
+        The two streaks are exclusive by construction: a probe inside the
+        hysteresis band (between ``readmit_score`` and ``eject_score``)
+        resets both, so only *consecutive* evidence moves the state.
+
+        ``allow_eject=False`` suppresses the soft ejection itself (the
+        router passes it for the last replica standing — a degraded
+        replica that sheds beats an empty fleet that serves nothing).
+        The bad streak stays saturated, so ejection fires on the first
+        bad probe after another replica rejoins.
+        """
+        self.last_score = score
+        self.last_pressure = pressure
+        if self.state == STATE_UP:
+            if score >= policy.eject_score:
+                self.bad_streak += 1
+                if self.bad_streak >= policy.eject_after:
+                    if not allow_eject:
+                        self.bad_streak = policy.eject_after
+                        return ""
+                    self.state = STATE_EJECTED
+                    self.reason = "degraded"
+                    self.bad_streak = 0
+                    self.good_streak = 0
+                    self.transitions += 1
+                    return "eject"
+            else:
+                self.bad_streak = 0
+            return ""
+        if score <= policy.readmit_score:
+            self.good_streak += 1
+            if self.good_streak >= policy.readmit_after:
+                self.state = STATE_UP
+                self.reason = ""
+                self.bad_streak = 0
+                self.good_streak = 0
+                self.transitions += 1
+                return "readmit"
+        else:
+            self.good_streak = 0
+        return ""

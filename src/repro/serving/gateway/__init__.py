@@ -62,7 +62,12 @@ from repro.serving.gateway.store import (
     VersionedEmbeddingStore,
 )
 from repro.serving.gateway.telemetry import GatewayTelemetry
-from repro.serving.gateway.workload import clustered_embeddings, zipf_query_ids
+from repro.serving.gateway.workload import (
+    clustered_embeddings,
+    flash_crowd_gaps,
+    poisson_gaps,
+    zipf_query_ids,
+)
 from repro.serving.quant.ivfpq import Int8Index, IVFPQIndex
 
 __all__ = [
@@ -89,6 +94,8 @@ __all__ = [
     "build_index",
     "clustered_embeddings",
     "deploy_gateway",
+    "flash_crowd_gaps",
     "index_kinds",
+    "poisson_gaps",
     "zipf_query_ids",
 ]

@@ -298,6 +298,25 @@ class ServingGateway(SnapshotListener):
         without being scored.  ``tag`` attributes the request's telemetry to
         a named stream (the A/B bucket).
         """
+        pending = await self.submit_async(query_id, k, deadline_s=deadline_s,
+                                          tag=tag)
+        try:
+            return await pending.wait()
+        except asyncio.CancelledError:
+            pending.cancel()
+            raise
+
+    async def submit_async(self, query_id: int, k: Optional[int] = None,
+                           deadline_s: Optional[float] = None,
+                           tag: Optional[str] = None) -> PendingRequest:
+        """Admit one request and return its :class:`PendingRequest` handle.
+
+        The replica-handle form of :meth:`search_async`: a fleet front-end
+        admits here, grafts its own routing span onto ``pending.trace``,
+        and awaits ``pending.wait()`` itself — so failover logic owns the
+        wait without re-implementing admission.  Raises ``OverloadError``
+        at admission like ``search_async`` does.
+        """
         core = self.scheduler.async_scheduler
         if deadline_s is None:
             deadline_s = self.default_deadline_s
@@ -305,11 +324,7 @@ class ServingGateway(SnapshotListener):
             query_id, k if k is not None else self.top_k, deadline_s=deadline_s,
             tag=tag)
         core.start()  # idempotent: the drive task for the current loop
-        try:
-            return await pending.wait()
-        except asyncio.CancelledError:
-            pending.cancel()
-            raise
+        return pending
 
     async def rank_async(self, query_id: int, k: Optional[int] = None,
                          deadline_s: Optional[float] = None,
@@ -322,6 +337,17 @@ class ServingGateway(SnapshotListener):
     async def stop_async(self) -> None:
         """Stop the drive task on the current loop, draining the queue."""
         await self.scheduler.async_scheduler.stop()
+
+    async def drain_async(self) -> None:
+        """Drain hook for replica lifecycle: finish queued work, stay up.
+
+        Completes (or sheds, per deadline) everything already admitted and
+        stops the drive task; the next ``submit_async`` restarts it.  A
+        fleet uses this to retire a replica gracefully — drain, then stop
+        routing to it — without failing in-flight requests the way
+        ``close()`` would.
+        """
+        await self.scheduler.async_scheduler.stop(drain=True)
 
     def rank(self, query_id: int, k: Optional[int] = None) -> List[int]:
         """Synchronous single request (the A/B simulator's ranker protocol)."""

@@ -231,6 +231,7 @@ class AsyncBatchScheduler:
         self.deadline_misses = 0
         self.cancelled_requests = 0
         self.max_queue_depth = 0
+        self._in_flight = 0
         #: Executor wall-time distribution — a fixed-bucket histogram, so
         #: the scheduler's own footprint stays O(buckets) under sustained
         #: traffic (the per-batch latency list it replaces grew forever).
@@ -383,6 +384,16 @@ class AsyncBatchScheduler:
     def pending_count(self) -> int:
         return len(self._queue)
 
+    @property
+    def in_flight_count(self) -> int:
+        """Requests in the batch currently executing (0 between batches).
+
+        A stalled executor hides its whole batch from ``pending_count``
+        (the queue drained into it when the batch was taken), so load
+        probes that want "work not yet answered" must sum both counts.
+        """
+        return self._in_flight
+
     # ------------------------------------------------------------------ #
     # Dispatch side
     # ------------------------------------------------------------------ #
@@ -426,8 +437,16 @@ class AsyncBatchScheduler:
 
         Cancelled slots are dropped (never scored) and requests past their
         deadline are failed before scoring — load is shed at the cheapest
-        possible point.
+        possible point.  The batch is visible through
+        :attr:`in_flight_count` for as long as it executes.
         """
+        self._in_flight = len(batch)
+        try:
+            return await self._run_batch(batch)
+        finally:
+            self._in_flight = 0
+
+    async def _run_batch(self, batch: List[PendingRequest]) -> int:
         now = self._clock()
         live: List[PendingRequest] = []
         for pending in batch:
@@ -678,6 +697,10 @@ class BatchScheduler:
     @property
     def pending_count(self) -> int:
         return self.async_scheduler.pending_count
+
+    @property
+    def in_flight_count(self) -> int:
+        return self.async_scheduler.in_flight_count
 
     @property
     def batches_dispatched(self) -> int:

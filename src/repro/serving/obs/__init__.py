@@ -6,7 +6,9 @@ Four small modules, no dependencies on the gateway (the gateway depends on
 =================  ====================================================
 module             contents
 =================  ====================================================
-``obs.ids``        splitmix64 (vectorised + scalar) deterministic ids
+``obs.ids``        splitmix64 (vectorised + scalar) deterministic ids,
+                   the shared salt-mixing primitive (``mix64``) and
+                   routing-key canonicalisers used by every router
 ``obs.metrics``    Counter / Gauge / log-bucket Histogram, snapshots,
                    labeled families with overflow caps, registry with
                    Prometheus text + JSON exposition
@@ -19,7 +21,15 @@ module             contents
 
 from repro.serving.obs.flight import FlightRecorder
 from repro.serving.obs.health import HealthSnapshot
-from repro.serving.obs.ids import GOLDEN_GAMMA, splitmix64, splitmix64_int
+from repro.serving.obs.ids import (
+    GOLDEN_GAMMA,
+    ids_to_u64,
+    key_to_u64,
+    mix64,
+    mix64_int,
+    splitmix64,
+    splitmix64_int,
+)
 from repro.serving.obs.metrics import (
     DEFAULT_LATENCY_BOUNDARIES,
     OVERFLOW_LABEL,
@@ -52,7 +62,11 @@ __all__ = [
     "HealthSnapshot",
     "Histogram",
     "HistogramSnapshot",
+    "ids_to_u64",
+    "key_to_u64",
     "log_boundaries",
+    "mix64",
+    "mix64_int",
     "MetricFamily",
     "MetricsRegistry",
     "OVERFLOW_LABEL",

@@ -43,3 +43,27 @@ class HealthSnapshot:
         if math.isfinite(self.p99_ms) and self.p99_ms > p99_budget_ms:
             return True
         return self.shed_rate > shed_budget
+
+    def pressure(
+        self,
+        p99_budget_ms: float = math.inf,
+        queue_budget: float = math.inf,
+        loop_lag_budget_ms: float = math.inf,
+        shed_budget: float = 1.0,
+    ) -> float:
+        """Scalar load score: the worst budget utilisation across signals.
+
+        Each term is ``observed / budget`` (0 = idle, 1 = at budget, > 1 =
+        over), and the score is their max — one saturated dimension is
+        enough to make a replica a bad routing target.  Budgets default to
+        ``inf`` so unconfigured signals contribute 0.  This is what the
+        fleet router's least-loaded fallback ranks replicas by.
+        """
+        terms = [self.shed_rate / shed_budget if shed_budget > 0 else 0.0]
+        if math.isfinite(p99_budget_ms) and math.isfinite(self.p99_ms):
+            terms.append(self.p99_ms / p99_budget_ms)
+        if math.isfinite(queue_budget):
+            terms.append(self.queue_depth_mean / queue_budget)
+        if math.isfinite(loop_lag_budget_ms):
+            terms.append(self.loop_lag_mean_ms / loop_lag_budget_ms)
+        return max(terms)

@@ -10,9 +10,19 @@ Both produce identical output for the same input: the classic splitmix64
 finaliser (Steele et al.), whose constants assume wrapping mod-2^64
 arithmetic — numpy's uint64 wraps silently, the scalar form masks
 explicitly.
+
+On top of the finaliser sit the shared *salt-mixing* primitives every
+router in the stack uses: :func:`mix64` / :func:`mix64_int` finalise
+``value ^ salt`` (the A/B bucket hash and the fleet's rendezvous hash are
+both this primitive, so their streams are provably the same family), and
+:func:`key_to_u64` / :func:`ids_to_u64` canonicalise arbitrary routing
+keys (ints, strings, numpy id arrays) into the uint64 domain without
+per-process ``hash()`` randomisation.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -41,3 +51,58 @@ def splitmix64_int(value: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return z ^ (z >> 31)
+
+
+def mix64(values: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Vectorised salt-mixed hash: ``splitmix64(values ^ salt)``.
+
+    The shared routing primitive: the A/B bucket router's per-id uniform
+    fractions and the fleet router's rendezvous scores are both streams of
+    this function under different salts.
+    """
+    salted = np.asarray(values, dtype=np.uint64) ^ np.uint64(int(salt) & _MASK64)
+    return splitmix64(salted)
+
+
+def mix64_int(value: int, salt: int = 0) -> int:
+    """Scalar salt-mixed hash: ``splitmix64_int(value ^ salt)``.
+
+    Bit-identical to :func:`mix64` on the same ``(value, salt)`` — the
+    scalar form is what per-request paths (rendezvous routing, trace ids)
+    use to avoid numpy dispatch.
+    """
+    return splitmix64_int((value ^ salt) & _MASK64)
+
+
+def key_to_u64(key: object) -> int:
+    """Canonicalise a routing key (int-like or string) into uint64 space.
+
+    Integers map by value (mod 2^64); anything else hashes its ``str``
+    form through blake2b, which is stable across processes and runs —
+    unlike builtin ``hash(str)``, which is salted per process.
+    """
+    if isinstance(key, (int, np.integer)):
+        return int(key) & _MASK64
+    digest = hashlib.blake2b(str(key).encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "little")
+
+
+def ids_to_u64(ids) -> np.ndarray:
+    """Canonicalise routing ids (int array, scalar, or strings) to uint64.
+
+    Integer ids embed bijectively (int64 reinterprets its two's-complement
+    bits); string ids hash elementwise through blake2b so the mapping is
+    stable across processes (builtin ``hash(str)`` is salted per process).
+    """
+    array = np.asarray(ids)
+    if array.ndim == 0:
+        array = array[None]
+    if np.issubdtype(array.dtype, np.integer):
+        if array.dtype == np.int64:
+            return array.view(np.uint64)
+        return array.astype(np.uint64)
+    return np.fromiter(
+        (key_to_u64(value) for value in array),
+        dtype=np.uint64,
+        count=array.size,
+    )

@@ -1,0 +1,229 @@
+"""Randomized property tests for the fleet tier (``repro.serving.fleet``).
+
+Two contracts get the property treatment here:
+
+* **Minimal disruption** — rendezvous hashing's defining property: when
+  nodes leave, only the sessions *owned by the departed nodes* move (each
+  to its rendezvous runner-up); when nodes join, the only sessions that
+  move are the ones the new nodes win.  Checked at the pure hashing level
+  and again through :class:`FleetRouter` under random ejection subsets.
+* **At-most-once accounting** — retry-on-failover must never double-count:
+  whatever chaos does mid-stream (kills, stalls, slow-rolls), every
+  admitted session is answered at exactly one replica and appears exactly
+  once in the fleet telemetry, and ``answered + shed + missed`` equals the
+  offered total (no request lost, none counted twice).
+
+Both are driven with seeded randomized workloads rather than hand-picked
+examples — node counts, ejection subsets, kill instants and storm shapes
+all vary by seed.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving.fleet import (
+    ChaosController,
+    ChaosEvent,
+    FleetRouter,
+    HealthPolicy,
+    rendezvous_choose,
+    rendezvous_rank,
+)
+from repro.serving.gateway import (
+    DeadlineExceededError,
+    OverloadError,
+    ServingGateway,
+    VersionedEmbeddingStore,
+)
+
+DIM = 8
+NUM_QUERIES = 40
+NUM_SERVICES = 30
+
+
+def make_fleet(num_replicas: int, policy=None, max_failovers: int = 1,
+               seed: int = 0, **gateway_kwargs) -> FleetRouter:
+    rng = np.random.default_rng(seed)
+    store = VersionedEmbeddingStore(
+        rng.normal(size=(NUM_QUERIES, DIM)),
+        rng.normal(size=(NUM_SERVICES, DIM)),
+    )
+    gateway_kwargs.setdefault("index", "exact")
+    gateway_kwargs.setdefault("top_k", 5)
+    gateway_kwargs.setdefault("max_batch_size", 8)
+    gateway_kwargs.setdefault("max_wait_s", 0.001)
+    gateway_kwargs.setdefault("cache_capacity", 0)
+    gateways = {
+        f"replica-{i}": ServingGateway(store, **gateway_kwargs)
+        for i in range(num_replicas)
+    }
+    return FleetRouter(gateways, policy=policy, max_failovers=max_failovers)
+
+
+async def drive(fleet, session_ids, deadline_s=None, kill_at=None,
+                victim=None):
+    """Drive sessions; optionally kill ``victim`` before request ``kill_at``.
+
+    Returns ``(answered, shed, missed)`` — every session lands in exactly
+    one bucket, which is the ledger the properties check against.
+    """
+    answered = shed = missed = 0
+    for index, session_id in enumerate(session_ids):
+        if kill_at is not None and index == kill_at:
+            fleet.replica(victim).kill()
+        try:
+            await fleet.search_async(int(session_id) % NUM_QUERIES,
+                                     deadline_s=deadline_s,
+                                     session_id=int(session_id))
+        except OverloadError:
+            shed += 1
+        except DeadlineExceededError:
+            missed += 1
+        else:
+            answered += 1
+    return answered, shed, missed
+
+
+# --------------------------------------------------------------------- #
+# Minimal disruption: pure hashing level
+# --------------------------------------------------------------------- #
+class TestRendezvousMinimalDisruption:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_removal_moves_only_orphaned_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(3, 9))
+        nodes = [f"node-{i}" for i in range(num_nodes)]
+        removed = set(rng.choice(nodes, size=int(rng.integers(1, num_nodes - 1)),
+                                 replace=False))
+        survivors = [node for node in nodes if node not in removed]
+        keys = rng.integers(0, 2**62, size=400)
+        for key in keys:
+            before = rendezvous_choose(int(key), nodes)
+            after = rendezvous_choose(int(key), survivors)
+            if before in removed:
+                # Orphans land on their rendezvous runner-up among the
+                # survivors — the next node in the full-set preference order.
+                order = rendezvous_rank(int(key), nodes)
+                expected = next(n for n in order if n not in removed)
+                assert after == expected
+            else:
+                assert after == before  # everyone else stays put
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_addition_only_pulls_keys_to_new_nodes(self, seed):
+        rng = np.random.default_rng(seed)
+        nodes = [f"node-{i}" for i in range(int(rng.integers(2, 7)))]
+        grown = nodes + [f"new-{i}" for i in range(int(rng.integers(1, 3)))]
+        keys = rng.integers(0, 2**62, size=400)
+        moved = 0
+        for key in keys:
+            before = rendezvous_choose(int(key), nodes)
+            after = rendezvous_choose(int(key), grown)
+            if after != before:
+                assert after.startswith("new-")  # only new nodes steal keys
+                moved += 1
+        # Expected share of moved keys is new/(old+new); allow generous slack.
+        expected = (len(grown) - len(nodes)) / len(grown)
+        assert moved / len(keys) < expected * 2.0 + 0.05
+
+
+# --------------------------------------------------------------------- #
+# Minimal disruption: through the router under ejections
+# --------------------------------------------------------------------- #
+class TestRouterEjectionDisruption:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_only_ejected_replicas_sessions_move(self, seed):
+        rng = np.random.default_rng(seed)
+        num_replicas = int(rng.integers(3, 6))
+        fleet = make_fleet(num_replicas, seed=seed)
+        try:
+            sessions = [int(s) for s in rng.integers(0, 2**62, size=120)]
+            before = {s: fleet.route(s)[0].name for s in sessions}
+            names = [replica.name for replica in fleet.replicas]
+            ejected = set(rng.choice(
+                names, size=int(rng.integers(1, num_replicas - 1)),
+                replace=False))
+            for name in ejected:
+                fleet.replica(name).health.mark_dead()
+            for session in sessions:
+                after, policy = fleet.route(session)
+                assert policy == "rendezvous"
+                if before[session] in ejected:
+                    order = [r.name for r in fleet.rank(session)]
+                    expected = next(n for n in order if n not in ejected)
+                    assert after.name == expected
+                else:
+                    assert after.name == before[session]
+        finally:
+            fleet.close()
+
+
+# --------------------------------------------------------------------- #
+# At-most-once accounting under chaos
+# --------------------------------------------------------------------- #
+class TestFailoverNeverDoubleCounts:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_midstream_kill_counts_every_session_once(self, seed):
+        rng = np.random.default_rng(seed)
+        # Randomize the probe cadence so both the probe-driven ejection
+        # path and the passive in-request failover path get exercised.
+        probe_interval = float(rng.choice([0.0, 1000.0]))
+        policy = HealthPolicy(probe_interval_s=probe_interval)
+        fleet = make_fleet(3, policy=policy, seed=seed)
+        try:
+            total = 150
+            sessions = rng.integers(0, 2**62, size=total)
+            victim = f"replica-{int(rng.integers(0, 3))}"
+            kill_at = int(rng.integers(10, total - 10))
+            answered, shed, missed = asyncio.run(drive(
+                fleet, sessions, deadline_s=5.0,
+                kill_at=kill_at, victim=victim))
+            assert answered + shed + missed == total  # nothing lost
+            summary = fleet.summary()
+            # Fleet telemetry: each answered session recorded exactly once
+            # even when its first attempt died and it was retried.
+            assert summary["requests"] == float(answered)
+            assert summary["overload_rejections"] == float(shed)
+            assert summary["deadline_misses"] == float(missed)
+            # Backend accounting: each answered session executed on exactly
+            # one replica — retries never double-execute.
+            executed = sum(replica.gateway.health().requests
+                           for replica in fleet.replicas)
+            assert executed == answered
+            routed = sum(row["routed"] for row in fleet.replica_rows())
+            assert routed == answered
+        finally:
+            fleet.close()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seeded_storm_conserves_the_request_ledger(self, seed):
+        rng = np.random.default_rng(seed)
+        fleet = make_fleet(3, policy=HealthPolicy(probe_interval_s=0.01),
+                           seed=seed, max_queue=64, overload="reject")
+        try:
+            victims = [f"replica-{int(v)}" for v in rng.integers(0, 3, size=3)]
+            events = [
+                ChaosEvent(at_s=0.02, action="stall", replica=victims[0],
+                           duration_s=0.05),
+                ChaosEvent(at_s=0.04, action="slow", replica=victims[1],
+                           factor=3.0),
+                ChaosEvent(at_s=0.06, action="kill", replica=victims[2]),
+            ]
+            ChaosController(fleet, events)
+            fleet.chaos.arm()
+            total = 200
+            sessions = rng.integers(0, 2**62, size=total)
+            answered, shed, missed = asyncio.run(drive(
+                fleet, sessions, deadline_s=0.5))
+            assert answered + shed + missed == total
+            summary = fleet.summary()
+            assert summary["requests"] == float(answered)
+            assert summary["overload_rejections"] == float(shed)
+            assert summary["deadline_misses"] == float(missed)
+            executed = sum(replica.gateway.health().requests
+                           for replica in fleet.replicas)
+            assert executed == answered
+        finally:
+            fleet.close()
