@@ -1,0 +1,204 @@
+"""Benchmark: durable snapshot warm start vs cold re-quantize boot.
+
+The durability argument from the ROADMAP: a replica that re-quantizes a
+12k-service catalogue on every restart (int8 scales + PQ codebook
+training) pays tens of seconds of CPU before it can answer its first
+request, while the chunked snapshot format
+(:mod:`repro.serving.snapshot`) mmaps the already-quantized tables
+read-only and boots in milliseconds.  This bench measures, at the same
+catalogue scale as the quantized bench:
+
+* **cold boot** — ``VersionedEmbeddingStore`` construction with
+  ``("int8", "pq")`` quantization plus a gateway and one ranked batch;
+* **snapshot write** — publishing that store version to a chunk
+  directory (content-addressed, checksummed);
+* **warm boot** — ``VersionedEmbeddingStore.restore`` from the manifest
+  plus a gateway and the same ranked batch.
+
+Three deterministic gates ride along the wall-clock one:
+
+* warm start serves **bit-identical** ranked results (ids and scores) to
+  the cold store it was persisted from;
+* mmap-served recall@10 equals in-memory recall@10 (same probe set);
+* a **delta publish** that changes only the query table rewrites only the
+  query chunks — every service-side chunk (fp, int8, PQ) is shared.
+
+Results are persisted to ``benchmarks/results/snapshot_store.json``.
+Runnable standalone with the uniform bench flags::
+
+    python -m benchmarks.bench_snapshot_store [--smoke] [--seed N] [--out P]
+
+``--smoke`` is the CI gate: reduced catalogue, same gates, including the
+hard ``warm-start >= 10x faster than cold boot`` floor.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.bench_args import RESULTS_DIR, parse_bench_args, require, write_json
+from benchmarks.serving_load import make_workload
+from repro.eval.reporting import format_float_table
+from repro.eval.serving_metrics import recall_at_k
+from repro.serving.gateway import ExactIndex, ServingGateway, VersionedEmbeddingStore
+from repro.serving.snapshot import open_snapshot, write_snapshot
+
+FULL = dict(num_queries=2_000, num_services=12_000, dim=48,
+            num_requests=1, top_k=10, num_probe=512)
+SMOKE = dict(num_queries=500, num_services=4_000, dim=48,
+             num_requests=1, top_k=10, num_probe=256)
+
+QUANTIZATION = ("int8", "pq")
+QUANT_PARAMS = {"pq": {"num_subspaces": 8}}
+NUM_SHARDS = 4
+WARM_SPEEDUP_FLOOR = 10.0
+
+
+def _boot_and_rank(store, params, probe_ids):
+    """Gateway over ``store`` + one ranked batch (the first-request cost)."""
+    gateway = ServingGateway(store, index="int8", top_k=params["top_k"],
+                             cache_capacity=0)
+    try:
+        return [gateway.rank(query_id, params["top_k"])
+                for query_id in probe_ids]
+    finally:
+        gateway.close()
+
+
+def run_snapshot_bench(params=None, seed=0, root=None):
+    """Time cold boot, snapshot write and warm boot; verify the parity gates."""
+    params = params or FULL
+    queries, services, _ = make_workload(params, seed)
+    probe_ids = list(range(min(32, params["num_queries"])))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(root) if root is not None else Path(scratch) / "snap"
+
+        started = time.perf_counter()
+        store = VersionedEmbeddingStore(
+            queries, services, num_shards=NUM_SHARDS,
+            quantization=QUANTIZATION, quantization_params=QUANT_PARAMS,
+        )
+        cold_results = _boot_and_rank(store, params, probe_ids)
+        cold_boot_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        report = write_snapshot(store.snapshot(), root)
+        write_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm_store = VersionedEmbeddingStore.restore(str(root))
+        warm_results = _boot_and_rank(warm_store, params, probe_ids)
+        warm_boot_s = time.perf_counter() - started
+
+        # Parity gates: bit-identical ranked lists and identical recall
+        # whether the int8 tables came from memory or from the mmap.
+        bit_identical = warm_results == cold_results
+        probe = queries[: params["num_probe"]].astype(np.float32)
+        exact_ids, _ = ExactIndex().build(
+            store.snapshot().services).search(probe, params["top_k"])
+        top_memory = np.argsort(
+            -store.snapshot().quantized["int8"].scores(probe),
+            axis=1)[:, : params["top_k"]]
+        top_mmap = np.argsort(
+            -warm_store.snapshot().quantized["int8"].scores(probe),
+            axis=1)[:, : params["top_k"]]
+        recall_memory = recall_at_k(top_memory, exact_ids, params["top_k"])
+        recall_mmap = recall_at_k(top_mmap, exact_ids, params["top_k"])
+
+        # Delta publish: shift only the query table; every service-side
+        # chunk (fp services, int8 codes/scales, PQ codes/codebooks) must
+        # be shared with version 0.
+        manifest = open_snapshot(root).manifest
+        query_chunks = len(manifest["sections"]["fp"]["arrays"]["queries"])
+        store.publish(queries + 0.25, services)
+        delta = write_snapshot(store.snapshot(), root)
+
+        rows = [
+            {"phase": "cold_boot", "seconds": cold_boot_s},
+            {"phase": "snapshot_write", "seconds": write_s},
+            {"phase": "warm_boot", "seconds": warm_boot_s},
+        ]
+        gates = {
+            "warm_speedup_x": cold_boot_s / warm_boot_s,
+            "bit_identical_rank": float(bit_identical),
+            "recall_memory": recall_memory,
+            "recall_mmap": recall_mmap,
+            "delta_chunks_written": delta.chunks_written,
+            "delta_chunks_expected": query_chunks,
+            "delta_chunks_shared": delta.chunks_shared,
+            "snapshot_mbytes": report.bytes_written / 2 ** 20,
+        }
+        return rows, gates
+
+
+def check_gates(gates):
+    require(bool(gates["bit_identical_rank"]),
+            "warm-started gateway must serve bit-identical ranked results")
+    require(gates["recall_mmap"] == gates["recall_memory"],
+            f"mmap-served recall {gates['recall_mmap']:.4f} != in-memory "
+            f"recall {gates['recall_memory']:.4f}")
+    require(gates["delta_chunks_written"] == gates["delta_chunks_expected"],
+            f"delta publish wrote {gates['delta_chunks_written']} chunks, "
+            f"expected only the {gates['delta_chunks_expected']} query chunks")
+    require(gates["delta_chunks_shared"] > 0,
+            "delta publish must share the unchanged service-side chunks")
+    require(gates["warm_speedup_x"] >= WARM_SPEEDUP_FLOOR,
+            f"warm start {gates['warm_speedup_x']:.1f}x faster than cold "
+            f"boot, floor is {WARM_SPEEDUP_FLOOR:.0f}x")
+
+
+def build_payload(params, rows, gates, seed, smoke):
+    return {
+        "workload": dict(params, quantization=list(QUANTIZATION),
+                         num_shards=NUM_SHARDS),
+        "seed": seed,
+        "smoke": smoke,
+        "results": rows,
+        "gates": gates,
+        "warm_speedup_x": gates["warm_speedup_x"],
+    }
+
+
+def test_snapshot_store(benchmark):
+    rows, gates = benchmark.pedantic(run_snapshot_bench, rounds=1,
+                                     iterations=1)
+    print("\n" + format_float_table(
+        rows, title=f"Snapshot warm start: {FULL['num_services']} services, "
+                    f"dim {FULL['dim']}, int8+pq, "
+                    f"warm speedup {gates['warm_speedup_x']:.1f}x"
+    ))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = build_payload(FULL, rows, gates, seed=0, smoke=False)
+    (RESULTS_DIR / "snapshot_store.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    assert gates["bit_identical_rank"]
+    assert gates["recall_mmap"] == gates["recall_memory"]
+    assert gates["delta_chunks_written"] == gates["delta_chunks_expected"]
+    assert gates["warm_speedup_x"] >= WARM_SPEEDUP_FLOOR
+
+
+def main(argv=None):
+    args = parse_bench_args("snapshot_store", __doc__, argv)
+    params = SMOKE if args.smoke else FULL
+    rows, gates = run_snapshot_bench(params, seed=args.seed)
+    label = "smoke" if args.smoke else "full"
+    print(format_float_table(
+        rows, title=f"Snapshot warm start ({label}): "
+                    f"{params['num_services']} services, dim {params['dim']}, "
+                    f"int8+pq, warm speedup {gates['warm_speedup_x']:.1f}x"
+    ))
+    print(f"gates: {json.dumps(gates, indent=2)}")
+    write_json(args.out, build_payload(params, rows, gates,
+                                       seed=args.seed, smoke=args.smoke))
+    print(f"wrote {args.out}")
+    check_gates(gates)
+    print("bench gates passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,175 @@
+"""CI bench-compare: diff each smoke payload against its tracked full result.
+
+The ``bench-smoke`` job writes one ``<name>_smoke.json`` per bench next to
+the tracked full-scale ``benchmarks/results/<name>.json``.  The smoke and
+full payloads are built by the same ``build_payload`` function in each
+bench, so their key shapes must agree — a bench refactor that renames or
+drops a gate key would otherwise silently stop gating until the next
+full-scale run noticed.  This script fails the job when:
+
+* a smoke payload has no tracked full result (new bench without a
+  committed baseline);
+* a key present in the tracked payload is missing from the smoke payload
+  (recursing through the ``gates`` dict, where the hard CI floors live);
+* any numeric value anywhere in the smoke payload is non-finite (NaN or
+  infinity — a division by a zero elapsed time or an empty window).  A
+  deliberate not-applicable marker is tolerated: a NaN whose *key name*
+  is also non-finite somewhere in the tracked baseline (e.g. the
+  ``recall_at_k`` of a row that has no recall reference) — the list
+  index may shift between smoke and full, so the match is by leaf name.
+
+It always prints a per-bench markdown scorecard (shared scalar metrics,
+smoke vs tracked full value) and appends it to ``$GITHUB_STEP_SUMMARY``
+when that file is available, so the job summary shows how the PR's smoke
+numbers sit against the tracked baselines.  Values are *reported*, not
+thresholded — scale differs between smoke and full runs by design; the
+hard floors live in each bench's own ``--smoke`` gates.
+
+Runnable locally::
+
+    python -m benchmarks.compare_results [--results-dir benchmarks/results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import sys
+from typing import Iterator, Optional, Sequence, Tuple
+
+from benchmarks.bench_args import RESULTS_DIR
+
+#: Keys whose sub-keys must match exactly between smoke and tracked
+#: payloads — these are the dicts the CI floors read.
+GATE_DICT_KEYS = ("gates",)
+
+
+def numeric_leaves(value, path="") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted_path, value)`` for every number in a JSON payload."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield path, float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from numeric_leaves(item, f"{path}.{key}" if path else key)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from numeric_leaves(item, f"{path}[{index}]")
+
+
+def leaf_name(path: str) -> str:
+    """``results[3].concurrency`` -> ``concurrency`` (index-insensitive)."""
+    return path.rsplit(".", 1)[-1].split("[", 1)[0]
+
+
+def missing_keys(tracked: dict, smoke: dict) -> list:
+    """Tracked keys the smoke payload dropped (one level + the gate dicts)."""
+    missing = [key for key in tracked if key not in smoke]
+    for gate_key in GATE_DICT_KEYS:
+        if isinstance(tracked.get(gate_key), dict) and isinstance(
+                smoke.get(gate_key), dict):
+            missing.extend(
+                f"{gate_key}.{key}" for key in tracked[gate_key]
+                if key not in smoke[gate_key])
+    return missing
+
+
+def shared_scalars(tracked: dict, smoke: dict) -> list:
+    """Top-level (and gate-dict) scalar metrics present in both payloads."""
+    rows = []
+    for source_key in ("",) + GATE_DICT_KEYS:
+        tracked_src = tracked.get(source_key) if source_key else tracked
+        smoke_src = smoke.get(source_key) if source_key else smoke
+        if not (isinstance(tracked_src, dict) and isinstance(smoke_src, dict)):
+            continue
+        for key in tracked_src:
+            t_val, s_val = tracked_src[key], smoke_src.get(key)
+            if isinstance(t_val, bool) or not isinstance(t_val, (int, float)):
+                continue
+            if isinstance(s_val, bool) or not isinstance(s_val, (int, float)):
+                continue
+            label = f"{source_key}.{key}" if source_key else key
+            if label in ("seed", "smoke"):
+                continue
+            rows.append((label, float(s_val), float(t_val)))
+    return rows
+
+
+def compare_one(smoke_path: pathlib.Path, results_dir: pathlib.Path):
+    """Returns ``(bench_name, errors, scalar_rows)`` for one smoke payload."""
+    name = smoke_path.stem.removesuffix("_smoke")
+    tracked_path = results_dir / f"{name}.json"
+    if not tracked_path.exists():
+        return name, [f"no tracked full result at {tracked_path}"], []
+    smoke = json.loads(smoke_path.read_text())
+    tracked = json.loads(tracked_path.read_text())
+    errors = [f"gate key missing from smoke payload: {key}"
+              for key in missing_keys(tracked, smoke)]
+    # NaN markers the tracked baseline itself carries are not-applicable
+    # slots, not regressions; anything else non-finite fails.
+    allowed_nan_names = {
+        leaf_name(path) for path, value in numeric_leaves(tracked)
+        if not math.isfinite(value)}
+    errors.extend(
+        f"non-finite metric in smoke payload: {path} = {value}"
+        for path, value in numeric_leaves(smoke)
+        if not math.isfinite(value) and leaf_name(path) not in allowed_nan_names)
+    return name, errors, shared_scalars(tracked, smoke)
+
+
+def scorecard(results) -> str:
+    """Render the per-bench markdown scorecard."""
+    lines = ["## Bench smoke vs tracked full results", ""]
+    for name, errors, rows in results:
+        status = "FAIL" if errors else "OK"
+        lines.append(f"### `{name}` — {status}")
+        lines.append("")
+        for error in errors:
+            lines.append(f"* **{error}**")
+        if rows:
+            lines.append("| metric | smoke | tracked full |")
+            lines.append("|---|---:|---:|")
+            for label, smoke_val, full_val in rows:
+                lines.append(f"| `{label}` | {smoke_val:.4g} | {full_val:.4g} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", type=pathlib.Path,
+                        default=RESULTS_DIR,
+                        help="directory holding both *_smoke.json and the "
+                             "tracked full results (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    smoke_paths = sorted(args.results_dir.glob("*_smoke.json"))
+    if not smoke_paths:
+        print(f"ERROR: no *_smoke.json files under {args.results_dir}",
+              file=sys.stderr)
+        return 2
+
+    results = [compare_one(path, args.results_dir) for path in smoke_paths]
+    card = scorecard(results)
+    print(card)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(card + "\n")
+
+    failures = [(name, errors) for name, errors, _ in results if errors]
+    if failures:
+        for name, errors in failures:
+            for error in errors:
+                print(f"COMPARE FAILED [{name}]: {error}", file=sys.stderr)
+        return 1
+    print(f"compared {len(results)} benches against tracked results: all OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,8 +34,14 @@ or slow-rolls mid-storm.  The observability substrate lives in
 a bounded metrics core (counters / gauges / log-bucketed histograms with
 Prometheus + JSON export), end-to-end request tracing from the gateway
 through shard workers, and a tail-sampling flight recorder with a
-poll-cheap health snapshot.  See ``src/repro/serving/README.md`` for the
-layer map.
+poll-cheap health snapshot.  The durability substrate lives in
+:mod:`repro.serving.snapshot`: a chunked, checksummed, content-addressed
+on-disk format for store versions (fp tables, int8 scales/codes, PQ
+codebooks/codes, trained index payloads) behind an atomically-flipped
+manifest pointer — publishes write only changed chunks, and replicas,
+gateways, and process-pool shard workers warm-start by mmapping the
+manifest's chunks read-only instead of re-quantizing.  See
+``src/repro/serving/README.md`` for the layer map.
 """
 
 from repro.serving.abtest import (
@@ -69,6 +75,13 @@ from repro.serving.pipeline import ServingPipeline, deploy_model
 from repro.serving.ranking import RankedService, RankingModule
 from repro.serving.retrieval import InnerProductRetriever, ModelScoringRetriever
 from repro.serving.sharded import ShardedGateway, ShardedRetriever
+from repro.serving.snapshot import (
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotNotFoundError,
+    open_snapshot,
+    write_snapshot,
+)
 
 __all__ = [
     "ABExperimentConfig",
@@ -95,8 +108,13 @@ __all__ = [
     "ServingPipeline",
     "ShardedGateway",
     "ShardedRetriever",
+    "SnapshotError",
+    "SnapshotIntegrityError",
+    "SnapshotNotFoundError",
     "VersionedEmbeddingStore",
     "deploy_fleet",
     "deploy_gateway",
     "deploy_model",
+    "open_snapshot",
+    "write_snapshot",
 ]

@@ -131,11 +131,24 @@ class FleetReplica:
             raise ValueError("slow factor must be >= 1.0")
         self._slow_factor = float(factor)
 
-    def revive(self) -> None:
-        """Clear every fault (process restarted, host recovered)."""
+    def revive(self, warm_start: Optional[str] = None) -> int:
+        """Clear every fault (process restarted, host recovered).
+
+        ``warm_start`` additionally re-hydrates the replica's store from an
+        on-disk snapshot directory: a replica that was dead through one or
+        more publishes catches up from the durable manifest (mmapped, no
+        re-quantization) instead of waiting for the next wire publish.  The
+        hydration runs the store's normal two-phase listener flip, so the
+        replica's gateway rebuilds or restores its index before any request
+        can observe the revived version.  Returns the store version the
+        replica is serving after revival.
+        """
         self._dead = False
         self._stalled_until = 0.0
         self._slow_factor = 1.0
+        if warm_start is not None:
+            return self.gateway.store.hydrate(warm_start)
+        return self.gateway.store.version
 
     @property
     def dead(self) -> bool:

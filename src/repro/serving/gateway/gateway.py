@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+import warnings
 from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -193,6 +194,8 @@ class ServingGateway(SnapshotListener):
         with self._index_lock:
             index = self._indexes.get(snapshot.version)
             if index is None:
+                index = self._restore_index(snapshot)
+            if index is None:
                 params = dict(self.index_params)
                 if self.index_kind in ("int8", "ivfpq"):
                     published = getattr(snapshot, "quantized", {}).get("int8")
@@ -200,10 +203,63 @@ class ServingGateway(SnapshotListener):
                         params.setdefault("int8_table", published)
                 index = build_index(self.index_kind, snapshot.all_services(),
                                     **params)
-                self._indexes[snapshot.version] = index
-                for stale in sorted(self._indexes)[:-2]:
-                    del self._indexes[stale]
-            return index
+            self._indexes.setdefault(snapshot.version, index)
+            for stale in sorted(self._indexes)[:-2]:
+                del self._indexes[stale]
+            return self._indexes[snapshot.version]
+
+    def _restore_index(self, snapshot) -> Optional[RetrievalIndex]:
+        """A persisted index payload for this snapshot, or ``None``.
+
+        Only ``ivfpq`` carries expensive trained state worth persisting.  A
+        missing payload is the normal cold-build path; a *damaged* one
+        raises the snapshot layer's typed integrity error, which is
+        surfaced as a warning here and answered with an in-memory rebuild —
+        warm start is an optimisation, never a correctness dependency.
+        """
+        durable = getattr(snapshot, "durable", None)
+        if durable is None or self.index_kind != "ivfpq":
+            return None
+        from repro.serving.snapshot import SnapshotError, SnapshotNotFoundError
+
+        params = {
+            key: value for key, value in self.index_params.items()
+            if key in ("num_probes", "refine", "refine_factor", "num_lists")
+        }
+        try:
+            return durable.load_index(
+                self.index_kind,
+                int8_table=getattr(snapshot, "quantized", {}).get("int8"),
+                params=params,
+            )
+        except SnapshotNotFoundError:
+            return None
+        except (SnapshotError, ValueError) as error:
+            warnings.warn(
+                f"persisted {self.index_kind} payload for store "
+                f"v{snapshot.version} is unusable ({error}); rebuilding the "
+                f"index in memory",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def persist_index(self, kind: Optional[str] = None) -> str:
+        """Persist the current version's trained index beside its manifest.
+
+        A later ``deploy_gateway(warm_start=...)`` then restores the index
+        payload (coarse centroids, slot layout, PQ codebooks) instead of
+        re-running k-means.  Requires the current snapshot to have been
+        published durably (store ``durable_dir``).
+        """
+        snapshot = self.store.snapshot()
+        durable = getattr(snapshot, "durable", None)
+        if durable is None:
+            raise ValueError(
+                "persist_index needs a durably-published snapshot — construct "
+                "the store with durable_dir= (or publish(durable_dir=...))"
+            )
+        return durable.save_index(self._index_for(snapshot), kind or self.index_kind)
 
     def _search_backend(self, snapshot, query_matrix: np.ndarray, k: int,
                         spans: Optional[BatchSpans] = None
@@ -549,10 +605,12 @@ class ServingGateway(SnapshotListener):
         self.close()
 
 
-def deploy_gateway(model, index: str = "ivf", index_params: Optional[dict] = None,
+def deploy_gateway(model=None, index: str = "ivf", index_params: Optional[dict] = None,
                    num_shards: int = 1, quantization: Sequence[str] = (),
                    quantization_params: Optional[dict] = None,
-                   workers: str = "auto", **gateway_kwargs) -> ServingGateway:
+                   workers: str = "auto", warm_start: Optional[str] = None,
+                   durable_dir: Optional[str] = None,
+                   **gateway_kwargs) -> ServingGateway:
     """Export a trained model's embeddings behind a full serving gateway.
 
     ``quantization`` kinds (``"int8"`` / ``"pq"``) are published with every
@@ -566,17 +624,49 @@ def deploy_gateway(model, index: str = "ivf", index_params: Optional[dict] = Non
     behind the same request path, with ``workers`` choosing the execution
     backend (``"process"`` / ``"thread"`` / ``"serial"`` / ``"auto"``).
 
+    ``warm_start`` boots the store from an on-disk snapshot directory
+    (:meth:`VersionedEmbeddingStore.restore`): tables and quantized codes
+    are mmapped straight off the manifest's chunks — no re-quantization, no
+    codebook training — and the shard layout comes from the manifest.  A
+    corrupt or missing snapshot raises the snapshot layer's typed error; if
+    ``model`` is also given, the gateway warns and falls back to the
+    in-memory rebuild instead.  ``durable_dir`` makes a model-built store
+    publish durably from its first version.
+
     Either tier exposes the asyncio-native front-end: ``await
     gateway.search_async(query_id)`` from any event loop, with admission
     control, deadlines and cancellation configured through
     ``gateway_kwargs`` (``max_queue`` / ``overload`` /
     ``default_deadline_s`` / ``cpu_executor`` / ``loop_confined``).
     """
-    store = VersionedEmbeddingStore.from_model(
-        model, num_shards=num_shards, quantization=quantization,
-        quantization_params=quantization_params,
-    )
-    if num_shards > 1:
+    store = None
+    if warm_start is not None:
+        from repro.serving.snapshot import SnapshotError
+
+        try:
+            store = VersionedEmbeddingStore.restore(warm_start)
+        except SnapshotError as error:
+            if model is None:
+                raise
+            warnings.warn(
+                f"warm start from {warm_start!r} failed ({error}); rebuilding "
+                f"the store from the model in memory",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if store is None:
+        if model is None:
+            raise ValueError("deploy_gateway needs a model, a warm_start dir, or both")
+        store = VersionedEmbeddingStore.from_model(
+            model, num_shards=num_shards, quantization=quantization,
+            quantization_params=quantization_params, durable_dir=durable_dir,
+        )
+    elif num_shards not in (1, store.num_shards):
+        raise ValueError(
+            f"warm-started snapshot was published with {store.num_shards} "
+            f"shard(s); num_shards={num_shards} conflicts with its layout"
+        )
+    if store.num_shards > 1:
         from repro.serving.sharded import ShardedGateway
 
         return ShardedGateway(store, index=index, index_params=index_params,

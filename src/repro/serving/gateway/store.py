@@ -113,6 +113,10 @@ class EmbeddingSnapshot:
     services: np.ndarray
     shard_bounds: Tuple[int, ...]  # len = num_shards + 1, contiguous ranges
     quantized: Mapping[str, object] = field(default_factory=dict)
+    # Durable location of this version on disk (snapshot.DurableRef), set
+    # when the store publishes with a ``durable_dir``.  Consumers use it to
+    # hydrate from the manifest instead of shipping arrays over IPC.
+    durable: Optional[object] = None
 
     @property
     def num_queries(self) -> int:
@@ -190,7 +194,9 @@ class VersionedEmbeddingStore:
                  dtype: np.dtype = np.float32,
                  quantization: Sequence[str] = (),
                  quantization_params: Optional[Mapping[str, Mapping]] = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 durable_dir: Optional[str] = None,
+                 durable_rows_per_chunk: Optional[int] = None) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self.num_shards = num_shards
@@ -215,7 +221,12 @@ class VersionedEmbeddingStore:
         self._clock = clock
         self._lock = threading.Lock()
         self._listeners: List[SnapshotListener] = []
-        self._current = self._make_snapshot(query_embeddings, service_embeddings, version)
+        self.durable_dir = durable_dir
+        self.durable_rows_per_chunk = durable_rows_per_chunk
+        initial = self._make_snapshot(query_embeddings, service_embeddings, version)
+        if durable_dir is not None:
+            initial, _ = self._persist(initial, durable_dir, flip=True)
+        self._current = initial
 
     # ------------------------------------------------------------------ #
     # Two-phase snapshot listeners
@@ -266,7 +277,73 @@ class VersionedEmbeddingStore:
             quantized=quantized,
         )
 
-    def publish(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray) -> int:
+    def _persist(self, snapshot: EmbeddingSnapshot, durable_dir: str,
+                 *, flip: bool) -> Tuple[EmbeddingSnapshot, object]:
+        """Write ``snapshot`` to the chunked on-disk format (delta-aware).
+
+        Returns the snapshot with its :class:`snapshot.DurableRef` attached
+        plus the write report.  With ``flip=False`` the version is durable
+        but not yet *live* — :meth:`_swap_in` flips the ``MANIFEST``
+        pointer at the same moment the in-memory reference flips.
+        """
+        import dataclasses
+
+        from repro.serving import snapshot as snapshot_io
+
+        report = snapshot_io.write_snapshot(
+            snapshot, durable_dir,
+            rows_per_chunk=self.durable_rows_per_chunk,
+            flip=flip,
+            extra_meta={
+                "dtype": self.dtype.str,
+                "quantization": list(self.quantization),
+                "quantization_params": self.quantization_params,
+                "rows_per_chunk": self.durable_rows_per_chunk,
+            },
+        )
+        ref = snapshot_io.DurableRef(
+            root=str(durable_dir), manifest_rel=report.manifest_rel,
+            version=report.version,
+        )
+        return dataclasses.replace(snapshot, durable=ref), report
+
+    def _swap_in(self, replacement: EmbeddingSnapshot,
+                 durable_root: Optional[str] = None,
+                 report: Optional[object] = None) -> int:
+        """Two-phase flip of a fully-constructed snapshot (lock held).
+
+        Every listener ``prepare``\\ s the new version first (old version
+        still serving everywhere), then the in-memory reference — and, for
+        a durable publish, the on-disk ``MANIFEST`` pointer — flips, then
+        every listener ``activate``\\ s.  If any ``prepare`` fails the
+        publish aborts: prepared listeners ``retire`` the dead version, the
+        orphan manifest is deleted, and both the in-memory reference and
+        the pointer keep naming the last good version.
+        """
+        prepared: List[SnapshotListener] = []
+        try:
+            for listener in self._listeners:
+                listener.prepare(replacement)
+                prepared.append(listener)
+        except BaseException:
+            for listener in prepared:
+                listener.retire(replacement.version)
+            if durable_root is not None and report is not None:
+                from repro.serving import snapshot as snapshot_io
+
+                snapshot_io.abandon_snapshot(durable_root, report)
+            raise
+        self._current = replacement
+        if durable_root is not None and report is not None:
+            from repro.serving import snapshot as snapshot_io
+
+            snapshot_io.flip_pointer(durable_root, report.manifest_rel)
+        for listener in self._listeners:
+            listener.activate(replacement)
+        return replacement.version
+
+    def publish(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray,
+                durable_dir: Optional[str] = None) -> int:
         """Swap in a new embedding version; readers never see a torn pair.
 
         The snapshot — including any quantized service tables — is fully
@@ -275,31 +352,50 @@ class VersionedEmbeddingStore:
         :meth:`snapshot` returns either the old or the new version in its
         entirety, never a mixed fp/quantized pairing.
 
-        Subscribed listeners run the two-phase flip around that swap: every
-        listener ``prepare``\\ s the new version first (old version still
-        serving everywhere), then the reference flips, then every listener
-        ``activate``\\ s.  If any ``prepare`` fails the publish aborts — the
-        already-prepared listeners ``retire`` the dead version and the old
-        snapshot stays current.
+        Subscribed listeners run the two-phase flip around that swap (see
+        :meth:`_swap_in`); an aborted publish keeps the old snapshot
+        current everywhere, including on disk.
+
+        ``durable_dir`` (or the store-level ``durable_dir``) additionally
+        persists the version to the chunked snapshot format *before* any
+        listener prepares — listeners that hydrate from disk (process-pool
+        shard workers) can rely on the chunks and manifest existing — and
+        atomically flips the ``MANIFEST`` pointer at the reference flip, so
+        a crash anywhere in between recovers to the last good version.
         """
         with self._lock:
             version = self._current.version + 1
             replacement = self._make_snapshot(query_embeddings, service_embeddings, version)
             if replacement.embedding_dim != self._current.embedding_dim:
                 raise ValueError("publish must keep the embedding dimensionality")
-            prepared: List[SnapshotListener] = []
-            try:
-                for listener in self._listeners:
-                    listener.prepare(replacement)
-                    prepared.append(listener)
-            except BaseException:
-                for listener in prepared:
-                    listener.retire(version)
-                raise
-            self._current = replacement
-            for listener in self._listeners:
-                listener.activate(replacement)
-            return version
+            root = durable_dir if durable_dir is not None else self.durable_dir
+            report = None
+            if root is not None:
+                replacement, report = self._persist(replacement, root, flip=False)
+            return self._swap_in(replacement, root, report)
+
+    def hydrate(self, durable_dir: Optional[str] = None, verify: bool = True) -> int:
+        """Adopt the newest on-disk version when it is newer than ours.
+
+        The disk snapshot is mmapped (zero copy, no re-quantization) and
+        run through the same two-phase listener flip as a publish.  A
+        replica that was dead through a publish calls this on revive to
+        catch up from the manifest instead of the wire.  Returns the
+        current version either way.
+        """
+        root = durable_dir if durable_dir is not None else self.durable_dir
+        if root is None:
+            raise ValueError("hydrate needs a durable_dir (none configured)")
+        from repro.serving import snapshot as snapshot_io
+
+        durable = snapshot_io.open_snapshot(root, verify=verify)
+        with self._lock:
+            if durable.version <= self._current.version:
+                return self._current.version
+            replacement = durable.to_snapshot(published_at=self._clock())
+            if replacement.embedding_dim != self._current.embedding_dim:
+                raise ValueError("hydrate must keep the embedding dimensionality")
+            return self._swap_in(replacement)
 
     def publish_from_model(self, model) -> int:
         """Daily refresh path: re-export embeddings from a trained model."""
@@ -352,12 +448,55 @@ class VersionedEmbeddingStore:
         return self._current.quantized_services(kind)
 
     @classmethod
+    def restore(cls, durable_dir: str, version: Optional[int] = None,
+                verify: bool = True,
+                clock: Callable[[], float] = time.monotonic) -> "VersionedEmbeddingStore":
+        """Warm-start a store from an on-disk snapshot directory.
+
+        The fp tables, int8 codes/scales, and PQ codes/codebooks are served
+        straight off the mmapped chunks — nothing is re-quantized and no
+        codebook is re-trained, which is what makes a warm boot orders of
+        magnitude faster than reconstructing the store from raw embeddings.
+        Damaged or missing data raises a typed
+        :class:`~repro.serving.snapshot.SnapshotError`; callers that hold
+        the raw embeddings fall back to an in-memory rebuild.
+
+        The restored store keeps ``durable_dir`` configured, so subsequent
+        publishes continue the on-disk version history (delta-writing only
+        changed chunks).
+        """
+        from repro.serving import snapshot as snapshot_io
+
+        durable = snapshot_io.open_snapshot(durable_dir, version=version,
+                                            verify=verify)
+        meta = durable.meta
+        store = cls.__new__(cls)
+        store.num_shards = max(1, len(durable.shard_bounds) - 1)
+        store.dtype = np.dtype(str(meta.get("dtype", "<f4")))
+        store.quantization = tuple(meta.get("quantization", ()))
+        store.quantization_params = {
+            kind: dict(params)
+            for kind, params in (meta.get("quantization_params") or {}).items()
+        }
+        store._clock = clock
+        store._lock = threading.Lock()
+        store._listeners = []
+        store.durable_dir = str(durable_dir)
+        store.durable_rows_per_chunk = meta.get("rows_per_chunk")
+        store._current = durable.to_snapshot(published_at=clock())
+        return store
+
+    @classmethod
     def from_model(cls, model, num_shards: int = 1, version: int = 0,
                    dtype: np.dtype = np.float32,
                    quantization: Sequence[str] = (),
                    quantization_params: Optional[Mapping[str, Mapping]] = None,
-                   clock: Callable[[], float] = time.monotonic) -> "VersionedEmbeddingStore":
+                   clock: Callable[[], float] = time.monotonic,
+                   durable_dir: Optional[str] = None,
+                   durable_rows_per_chunk: Optional[int] = None) -> "VersionedEmbeddingStore":
         return cls(model.query_embeddings(), model.service_embeddings(),
                    num_shards=num_shards, version=version, dtype=dtype,
                    quantization=quantization,
-                   quantization_params=quantization_params, clock=clock)
+                   quantization_params=quantization_params, clock=clock,
+                   durable_dir=durable_dir,
+                   durable_rows_per_chunk=durable_rows_per_chunk)

@@ -284,6 +284,136 @@ class IVFPQIndex(RetrievalIndex):
         return slots[slots >= 0].astype(np.int64)
 
     # ------------------------------------------------------------------ #
+    # Durable state (snapshot index payloads)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> Tuple[dict, dict]:
+        """The trained state worth persisting: ``(meta, arrays)``.
+
+        Covers everything expensive to recompute — coarse centroids (cell
+        k-means), the slot-major layout (balanced assignment), residual PQ
+        codebooks (per-subspace k-means) and codes.  Derived gather
+        structures (``_half_sq_norms``, ``_slot_flat_codes``, ``_sum_ones``)
+        are cheap vectorised transforms and are rebuilt on restore.
+        """
+        if self._pq is None:
+            raise RuntimeError("index not built")
+        meta = {
+            "name": self.name,
+            "cell_size": int(self._cell_size),
+            "num_services": int(self._num_services),
+            "num_subspaces": int(self._pq.num_subspaces),
+            "num_centroids": int(self._pq.num_centroids),
+            "kmeans_iters": int(self.kmeans_iters),
+            "pq_kmeans_iters": int(self.pq_kmeans_iters),
+            "seed": int(self.seed),
+            "refine": self.refine,
+            "refine_factor": int(self.refine_factor),
+            "slack": float(self.slack),
+            "dim": int(self._pq.dim_),
+            "padded_dim": int(self._pq.padded_dim_),
+        }
+        arrays = {
+            "centroids": self._centroids,
+            "slot_ids": self._slot_ids,
+            "slot_codes": self._slot_codes,
+            "codebooks": self._pq.codebooks_,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict,
+                   int8_table: Optional[Int8Table] = None,
+                   params: Optional[dict] = None) -> "IVFPQIndex":
+        """Rebuild a serving-ready index from persisted state — no k-means.
+
+        ``params`` carries search-time overrides (``num_probes``,
+        ``refine_factor``); trained structure always comes from ``meta`` /
+        ``arrays``.  ``int8_table`` supplies the refinement table when the
+        persisted index used ``refine="int8"`` (the store publishes one
+        per snapshot, so it is never re-quantized here).
+        """
+        params = dict(params or {})
+        refine = params.pop("refine", meta.get("refine"))
+        index = cls(
+            num_lists=None,
+            num_probes=params.pop("num_probes", None),
+            num_subspaces=int(meta["num_subspaces"]),
+            num_centroids=int(meta["num_centroids"]),
+            kmeans_iters=int(meta.get("kmeans_iters", 8)),
+            pq_kmeans_iters=int(meta.get("pq_kmeans_iters", 10)),
+            refine=refine,
+            refine_factor=int(params.pop("refine_factor", meta.get("refine_factor", 8))),
+            slack=float(meta.get("slack", 1.3)),
+            int8_table=int8_table,
+            seed=int(meta.get("seed", 0)),
+        )
+        params.pop("num_lists", None)  # layout is fixed by the persisted slots
+        if params:
+            raise ValueError(f"unknown index restore params: {sorted(params)}")
+
+        centroids = np.ascontiguousarray(arrays["centroids"], dtype=np.float32)
+        slot_ids = np.asarray(arrays["slot_ids"], dtype=np.int32)
+        slot_codes = np.asarray(arrays["slot_codes"], dtype=np.uint8)
+        codebooks = np.ascontiguousarray(arrays["codebooks"], dtype=np.float32)
+        cell_size = int(meta["cell_size"])
+        num_services = int(meta["num_services"])
+        num_subspaces = int(meta["num_subspaces"])
+        cells = centroids.shape[0]
+        if (
+            codebooks.ndim != 3
+            or codebooks.shape[0] != num_subspaces
+            or slot_codes.shape != (cells * cell_size, num_subspaces)
+            or slot_ids.shape != (cells * cell_size,)
+        ):
+            raise ValueError(
+                f"persisted IVF-PQ state is inconsistent: cells={cells}, "
+                f"cell_size={cell_size}, slot_ids={slot_ids.shape}, "
+                f"slot_codes={slot_codes.shape}, codebooks={codebooks.shape}"
+            )
+
+        pq = ProductQuantizer(
+            num_subspaces=num_subspaces,
+            num_centroids=int(meta["num_centroids"]),
+            kmeans_iters=int(meta.get("pq_kmeans_iters", 10)),
+            seed=int(meta.get("seed", 0)),
+        )
+        pq.dim_ = int(meta["dim"])
+        pq.padded_dim_ = int(meta["padded_dim"])
+        pq.codebooks_ = codebooks
+
+        fitted_centroids = codebooks.shape[1]
+        sentinel = num_subspaces * fitted_centroids
+        flat_dtype = np.int16 if sentinel + 1 <= np.iinfo(np.int16).max else np.int32
+        offsets = np.arange(num_subspaces, dtype=np.int64) * fitted_centroids
+        flat = (slot_codes.astype(np.int64) + offsets).astype(flat_dtype)
+        flat[slot_ids < 0] = sentinel
+
+        index._pq = pq
+        index._centroids = centroids
+        index._half_sq_norms = 0.5 * np.sum(centroids ** 2, axis=1)
+        index._slot_ids = slot_ids
+        index._slot_codes = slot_codes
+        index._slot_flat_codes = flat
+        index._cell_size = cell_size
+        index._sum_ones = np.ones(num_subspaces, dtype=np.float32)
+        index._num_services = num_services
+        if index.refine == "int8":
+            if int8_table is None:
+                raise ValueError(
+                    "persisted index used refine='int8'; pass the snapshot's "
+                    "int8_table to restore it"
+                )
+            if int8_table.codes.shape != (num_services, int(meta["dim"])):
+                raise ValueError(
+                    f"int8 refine table shape {int8_table.codes.shape} does not "
+                    f"match persisted index ({num_services}, {meta['dim']})"
+                )
+            index._refine_table = int8_table
+        else:
+            index._refine_table = None
+        return index
+
+    # ------------------------------------------------------------------ #
     # Search: rectangular probe expansion + one ADC gather + batched top-k
     # ------------------------------------------------------------------ #
     def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -43,6 +43,7 @@ from repro.serving.gateway.store import StaleVersionError
 from repro.serving.obs.tracing import worker_span
 from repro.serving.quant.scalar import Int8Table
 from repro.serving.sharded.worker import ShardWorker
+from repro.serving.snapshot.codec import shard_tables_from_manifest
 
 WORKER_KINDS = ("serial", "thread", "process", "auto")
 
@@ -353,6 +354,18 @@ def _shard_worker_main(  # pragma: no cover - runs in a child process
                     )
                 worker.prepare(version, services, lo, int8_table=int8_table)
                 conn.send(("ready", version))
+            elif op == "prepare_disk":
+                # Durable-snapshot hydration: the worker reads exactly its
+                # row range off the manifest's mmapped chunks — no
+                # shared-memory export, no cross-process array shipping.
+                # Integrity failures surface as an "error" reply and the
+                # parent falls back to the shared-memory handoff.
+                _, version, lo, hi, root, manifest_path = message
+                services, int8_table = shard_tables_from_manifest(
+                    root, manifest_path, lo, hi
+                )
+                worker.prepare(version, services, lo, int8_table=int8_table)
+                conn.send(("ready", version))
             elif op == "activate":
                 worker.activate(message[1])
                 conn.send(("ok",))
@@ -478,13 +491,58 @@ class ProcessPool(WorkerPool):
     # Two-phase flip
     # ------------------------------------------------------------------ #
     def prepare(self, snapshot) -> None:
+        """Hand the new version's tables to every worker.
+
+        A durably-published snapshot (``snapshot.durable`` set) skips IPC
+        entirely: each worker hydrates its ``[lo, hi)`` rows straight off
+        the manifest's mmapped chunks.  Everything else — and any disk
+        hydration that fails its integrity checks — goes through the
+        shared-memory handoff, so a damaged chunk store degrades a publish
+        to the old path instead of failing it.
+        """
+        self._check_snapshot(snapshot)
+        durable = getattr(snapshot, "durable", None)
+        if durable is not None:
+            try:
+                self._prepare_from_disk(snapshot, durable)
+                return
+            except RuntimeError as error:
+                import warnings
+
+                warnings.warn(
+                    f"disk hydration of snapshot v{snapshot.version} failed "
+                    f"({error}); falling back to shared-memory handoff",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        self._prepare_from_shm(snapshot)
+
+    def _prepare_from_disk(self, snapshot, durable) -> None:
+        """Workers read their shard rows from the durable manifest."""
+        with self._io_lock:
+            self._drain_stale()
+            for shard, conn in enumerate(self._conns):
+                lo = int(snapshot.shard_bounds[shard])
+                hi = int(snapshot.shard_bounds[shard + 1])
+                conn.send((
+                    "prepare_disk", snapshot.version, lo, hi,
+                    durable.root, durable.manifest_rel,
+                ))
+            replies = self._recv_all()
+        for shard, reply in enumerate(replies):
+            if reply != ("ready", snapshot.version):
+                raise RuntimeError(
+                    f"shard worker {shard} failed to hydrate "
+                    f"version {snapshot.version} from disk: {reply!r}"
+                )
+
+    def _prepare_from_shm(self, snapshot) -> None:
         """Export the snapshot to shared memory; every worker copies its rows.
 
         The segments live only for the duration of the handoff: once all
         workers acked ``ready`` they own private copies of their slices and
         the parent unlinks the shared segments immediately.
         """
-        self._check_snapshot(snapshot)
         segments: List[shared_memory.SharedMemory] = []
         try:
             meta, segment = _export_array(snapshot.services)

@@ -1,0 +1,73 @@
+"""Durable chunked snapshot format with mmap warm-start.
+
+A store version on disk is a set of content-addressed, checksummed chunk
+files (:mod:`~repro.serving.snapshot.format`) behind a versioned manifest
+and an atomically-flipped ``MANIFEST`` pointer
+(:mod:`~repro.serving.snapshot.manifest`);
+:mod:`~repro.serving.snapshot.codec` maps
+:class:`~repro.serving.gateway.store.EmbeddingSnapshot` — fp tables, int8
+scales/codes, PQ codebooks/codes, and trained index payloads — onto that
+container.  ``write_snapshot`` publishes a delta (only chunks absent from
+the store hit disk); ``open_snapshot`` mmaps everything read-only so a
+replica warm-starts without re-quantizing or re-training anything.
+"""
+
+from repro.serving.snapshot.codec import (
+    DurableRef,
+    DurableSnapshot,
+    WriteReport,
+    abandon_snapshot,
+    export_index_state,
+    latest_version,
+    open_snapshot,
+    restore_index_state,
+    shard_tables_from_manifest,
+    write_snapshot,
+)
+from repro.serving.snapshot.format import (
+    CHECKSUM_ALGO,
+    FORMAT_VERSION,
+    ChunkRef,
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotNotFoundError,
+    content_id,
+    open_chunk,
+    write_chunk,
+)
+from repro.serving.snapshot.manifest import (
+    POINTER_NAME,
+    flip_pointer,
+    list_versions,
+    load_manifest,
+    prune,
+    read_pointer,
+)
+
+__all__ = [
+    "CHECKSUM_ALGO",
+    "ChunkRef",
+    "DurableRef",
+    "DurableSnapshot",
+    "FORMAT_VERSION",
+    "POINTER_NAME",
+    "SnapshotError",
+    "SnapshotIntegrityError",
+    "SnapshotNotFoundError",
+    "WriteReport",
+    "abandon_snapshot",
+    "content_id",
+    "export_index_state",
+    "flip_pointer",
+    "latest_version",
+    "list_versions",
+    "load_manifest",
+    "open_chunk",
+    "open_snapshot",
+    "prune",
+    "read_pointer",
+    "restore_index_state",
+    "shard_tables_from_manifest",
+    "write_chunk",
+    "write_snapshot",
+]

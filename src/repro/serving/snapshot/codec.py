@@ -1,0 +1,427 @@
+"""Encode/decode store versions to the chunked on-disk snapshot format.
+
+:func:`write_snapshot` lowers one
+:class:`~repro.serving.gateway.store.EmbeddingSnapshot` into sectioned,
+content-addressed chunks (fp tables, int8 scales/codes, PQ codebooks/codes)
+plus a self-checksummed manifest; :func:`open_snapshot` mmaps those chunks
+read-only and rebuilds the snapshot — including its quantized tables —
+without re-fitting a single quantizer, which is the whole warm-start win.
+
+Because chunks are content addressed, ``write_snapshot`` on version ``v+1``
+only touches disk for tables that actually changed: an unchanged service
+catalogue (and its deterministic int8/PQ encodings) dedups to zero new
+chunks and the publish reduces to one small manifest plus the atomic
+pointer flip.
+
+Index payloads (a trained :class:`~repro.serving.quant.ivfpq.IVFPQIndex`'s
+coarse centroids, slot layout, and residual codebooks) ride in sidecar
+manifests next to the version manifest, sharing the same chunk store — a
+warm-started gateway restores its ANN index instead of re-running k-means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.snapshot.format import (
+    CHECKSUM_ALGO,
+    ChunkRef,
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotNotFoundError,
+    open_array,
+    read_rows,
+    write_array_chunks,
+)
+from repro.serving.snapshot.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_FORMAT_VERSION,
+    delete_manifest,
+    flip_pointer,
+    index_manifest_rel,
+    list_versions,
+    load_manifest,
+    manifest_rel,
+    read_pointer,
+    write_manifest,
+)
+
+
+@dataclass(frozen=True)
+class WriteReport:
+    """What one :func:`write_snapshot` call actually did on disk."""
+
+    manifest_rel: str
+    version: int
+    chunks_written: int
+    chunks_shared: int
+    bytes_written: int
+    flipped: bool
+
+
+@dataclass(frozen=True)
+class DurableRef:
+    """A published version's durable location — attached to the in-memory
+    snapshot so downstream consumers (shard workers, warm-started gateways)
+    can hydrate from disk instead of IPC."""
+
+    root: str
+    manifest_rel: str
+    version: int
+
+    def open(self, *, verify: bool = True) -> "DurableSnapshot":
+        manifest = load_manifest(Path(self.root), self.manifest_rel)
+        return DurableSnapshot(Path(self.root), manifest, self.manifest_rel,
+                               verify=verify)
+
+    def save_index(self, index, kind: str) -> str:
+        """Persist a built index's payload beside this version's manifest."""
+        meta, arrays = export_index_state(index)
+        section: Dict[str, list] = {}
+        root = Path(self.root)
+        for name, array in arrays.items():
+            refs, _, _ = write_array_chunks(root, array)
+            section[name] = [ref.to_json() for ref in refs]
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "checksum_algo": CHECKSUM_ALGO,
+            "version": self.version,
+            "index_kind": kind,
+            "meta": meta,
+            "sections": {"index": {"arrays": section}},
+        }
+        return write_manifest(root, manifest, index_manifest_rel(self.version, kind))
+
+    def load_index(self, kind: str, *, int8_table=None, params: Optional[Mapping] = None,
+                   verify: bool = True):
+        """Restore a persisted index payload for this version.
+
+        Raises :class:`SnapshotNotFoundError` when no payload of ``kind``
+        was persisted, :class:`SnapshotIntegrityError` when the payload is
+        damaged — callers fall back to an in-memory rebuild either way.
+        """
+        root = Path(self.root)
+        rel = index_manifest_rel(self.version, kind)
+        manifest = load_manifest(root, rel)
+        if manifest.get("index_kind") != kind or manifest.get("version") != self.version:
+            raise SnapshotIntegrityError(
+                f"index payload {rel} does not describe v{self.version}/{kind}"
+            )
+        meta = manifest["meta"]
+        arrays = {
+            name: open_array(root, [ChunkRef.from_json(r) for r in refs], verify=verify)
+            for name, refs in manifest["sections"]["index"]["arrays"].items()
+        }
+        if meta.get("refine") == "int8" and int8_table is None:
+            int8_table = self.open(verify=verify).int8_table()
+            if int8_table is None:
+                raise SnapshotIntegrityError(
+                    f"index payload {rel} needs an int8 refine table but "
+                    f"v{self.version} published none"
+                )
+        return restore_index_state(meta, arrays, int8_table=int8_table,
+                                   params=params)
+
+
+def _section_arrays(snapshot) -> Dict[str, Tuple[dict, Dict[str, np.ndarray]]]:
+    """Decompose a snapshot into ``{section: (meta, {name: array})}``."""
+    sections: Dict[str, Tuple[dict, Dict[str, np.ndarray]]] = {
+        "fp": (
+            {"dtype": np.asarray(snapshot.services).dtype.str},
+            {"queries": np.asarray(snapshot.queries),
+             "services": np.asarray(snapshot.services)},
+        )
+    }
+    for kind, table in snapshot.quantized.items():
+        if kind == "int8":
+            sections["int8"] = ({}, {"codes": table.codes, "scales": table.scales})
+        elif kind == "pq":
+            pq = table.quantizer
+            sections["pq"] = (
+                {
+                    "num_subspaces": int(pq.num_subspaces),
+                    "num_centroids": int(pq.num_centroids),
+                    "kmeans_iters": int(pq.kmeans_iters),
+                    "seed": int(pq.seed),
+                    "init": str(pq.init),
+                    "dim": int(pq.dim_),
+                    "padded_dim": int(pq.padded_dim_),
+                },
+                {"codes": table.codes, "codebooks": pq.codebooks_},
+            )
+        else:  # pragma: no cover - future quantizer kinds
+            raise SnapshotError(f"no snapshot codec for quantized table kind {kind!r}")
+    return sections
+
+
+def write_snapshot(snapshot, root, *, rows_per_chunk: Optional[int] = None,
+                   flip: bool = True,
+                   extra_meta: Optional[Mapping] = None) -> WriteReport:
+    """Persist a snapshot: content-addressed chunks + manifest (+ pointer).
+
+    Only chunks absent from the chunk store are written; ``flip=False``
+    makes the version durable without making it *live* — the store's
+    two-phase publish flips the pointer at its in-memory reference flip.
+    """
+    root = Path(root)
+    chunks_written = chunks_shared = bytes_written = 0
+    sections = {}
+    for name, (meta, arrays) in _section_arrays(snapshot).items():
+        refs_by_array = {}
+        for array_name, array in arrays.items():
+            per_chunk = rows_per_chunk if array.ndim >= 2 else None
+            refs, written, nbytes = write_array_chunks(
+                root, array, rows_per_chunk=per_chunk
+            )
+            refs_by_array[array_name] = [ref.to_json() for ref in refs]
+            chunks_written += written
+            chunks_shared += len(refs) - written
+            bytes_written += nbytes
+        sections[name] = {"meta": meta, "arrays": refs_by_array}
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "format_version": MANIFEST_FORMAT_VERSION,
+        "checksum_algo": CHECKSUM_ALGO,
+        "version": int(snapshot.version),
+        "meta": {
+            "num_queries": int(snapshot.num_queries),
+            "num_services": int(snapshot.num_services),
+            "embedding_dim": int(snapshot.embedding_dim),
+            "shard_bounds": [int(b) for b in snapshot.shard_bounds],
+            "quantization": sorted(snapshot.quantized),
+            **(dict(extra_meta) if extra_meta else {}),
+        },
+        "sections": sections,
+    }
+    rel = write_manifest(root, manifest, manifest_rel(snapshot.version))
+    if flip:
+        flip_pointer(root, rel)
+    return WriteReport(
+        manifest_rel=rel,
+        version=int(snapshot.version),
+        chunks_written=chunks_written,
+        chunks_shared=chunks_shared,
+        bytes_written=bytes_written,
+        flipped=flip,
+    )
+
+
+def abandon_snapshot(root, report: WriteReport) -> None:
+    """Drop the manifest of an aborted publish (chunks stay; they are
+    content-addressed and a later prune collects unreferenced ones)."""
+    delete_manifest(Path(root), report.manifest_rel)
+
+
+class DurableSnapshot:
+    """A store version opened from disk: mmapped, read-only, zero-copy."""
+
+    def __init__(self, root: Path, manifest: dict, rel: str, *,
+                 verify: bool = True) -> None:
+        self.root = Path(root)
+        self.manifest = manifest
+        self.manifest_rel = rel
+        self.verify = verify
+
+    @property
+    def version(self) -> int:
+        return int(self.manifest["version"])
+
+    @property
+    def meta(self) -> dict:
+        return self.manifest["meta"]
+
+    @property
+    def shard_bounds(self) -> Tuple[int, ...]:
+        return tuple(int(b) for b in self.meta["shard_bounds"])
+
+    def ref(self) -> DurableRef:
+        return DurableRef(root=str(self.root), manifest_rel=self.manifest_rel,
+                          version=self.version)
+
+    # ------------------------------------------------------------------ #
+    # Section accessors
+    # ------------------------------------------------------------------ #
+    def _refs(self, section: str, array: str) -> Sequence[ChunkRef]:
+        try:
+            refs = self.manifest["sections"][section]["arrays"][array]
+        except KeyError as exc:
+            raise SnapshotIntegrityError(
+                f"manifest {self.manifest_rel} lacks array {section}/{array}"
+            ) from exc
+        return [ChunkRef.from_json(r) for r in refs]
+
+    def _section_meta(self, section: str) -> dict:
+        return self.manifest["sections"][section].get("meta", {})
+
+    def has_section(self, section: str) -> bool:
+        return section in self.manifest.get("sections", {})
+
+    def array(self, section: str, name: str) -> np.ndarray:
+        return open_array(self.root, self._refs(section, name), verify=self.verify)
+
+    def int8_table(self):
+        """The version's :class:`~repro.serving.quant.scalar.Int8Table`,
+        served straight off the mmapped chunks (or ``None``)."""
+        if not self.has_section("int8"):
+            return None
+        from repro.serving.quant.scalar import Int8Table
+
+        return Int8Table(codes=self.array("int8", "codes"),
+                         scales=self.array("int8", "scales"))
+
+    def pq_table(self):
+        """The version's :class:`~repro.serving.quant.pq.PQTable`, with the
+        codebooks mmapped and no k-means re-run (or ``None``)."""
+        if not self.has_section("pq"):
+            return None
+        from repro.serving.quant.pq import PQTable
+
+        meta = self._section_meta("pq")
+        quantizer = _rebuild_pq(meta, self.array("pq", "codebooks"))
+        return PQTable(codes=self.array("pq", "codes"), quantizer=quantizer)
+
+    def to_snapshot(self, *, published_at: float):
+        """Rebuild the full in-memory snapshot over mmapped arrays."""
+        from repro.serving.gateway.store import EmbeddingSnapshot
+
+        quantized = {}
+        int8 = self.int8_table()
+        if int8 is not None:
+            quantized["int8"] = int8
+        pq = self.pq_table()
+        if pq is not None:
+            quantized["pq"] = pq
+        return EmbeddingSnapshot(
+            version=self.version,
+            published_at=published_at,
+            queries=self.array("fp", "queries"),
+            services=self.array("fp", "services"),
+            shard_bounds=self.shard_bounds,
+            quantized=quantized,
+            durable=self.ref(),
+        )
+
+    def shard_tables(self, lo: int, hi: int):
+        """Materialise one shard's row range: ``(services, int8 table)``.
+
+        Only the chunks overlapping ``[lo, hi)`` are opened and verified —
+        a shard worker hydrates its slice without reading (or paying the
+        checksum for) the rest of the catalogue.  ``int8`` is ``None`` when
+        the version published no int8 table.
+        """
+        services = read_rows(self.root, self._refs("fp", "services"), lo, hi,
+                             verify=self.verify)
+        int8 = None
+        if self.has_section("int8"):
+            from repro.serving.quant.scalar import Int8Table
+
+            int8 = Int8Table(
+                codes=read_rows(self.root, self._refs("int8", "codes"), lo, hi,
+                                verify=self.verify),
+                scales=self.array("int8", "scales"),
+            )
+        return services, int8
+
+
+def open_snapshot(root, *, version: Optional[int] = None,
+                  verify: bool = True) -> DurableSnapshot:
+    """Open the pointer's live version (or an explicit ``version``) from
+    ``root``, mmapping chunks read-only for zero-copy boot."""
+    root = Path(root)
+    rel = manifest_rel(version) if version is not None else read_pointer(root)
+    manifest = load_manifest(root, rel)
+    if version is not None and int(manifest["version"]) != int(version):
+        raise SnapshotIntegrityError(
+            f"manifest {rel} claims version {manifest['version']}, wanted {version}"
+        )
+    return DurableSnapshot(root, manifest, rel, verify=verify)
+
+
+def latest_version(root) -> int:
+    """The version the ``MANIFEST`` pointer currently names."""
+    root = Path(root)
+    return open_snapshot(root).version
+
+
+def shard_tables_from_manifest(root, rel: str, lo: int, hi: int, *,
+                               verify: bool = True):
+    """One-shot shard hydration used by process-pool workers: open the
+    manifest at ``rel`` and materialise rows ``[lo, hi)``."""
+    snapshot = DurableSnapshot(Path(root), load_manifest(Path(root), rel), rel,
+                               verify=verify)
+    return snapshot.shard_tables(lo, hi)
+
+
+# ---------------------------------------------------------------------- #
+# Index payloads
+# ---------------------------------------------------------------------- #
+def _rebuild_pq(meta: dict, codebooks: np.ndarray):
+    from repro.serving.quant.pq import ProductQuantizer
+
+    quantizer = ProductQuantizer(
+        num_subspaces=int(meta["num_subspaces"]),
+        num_centroids=int(meta["num_centroids"]),
+        kmeans_iters=int(meta.get("kmeans_iters", 10)),
+        seed=int(meta.get("seed", 0)),
+        init=str(meta.get("init", "kmeans++")),
+    )
+    quantizer.dim_ = int(meta["dim"])
+    quantizer.padded_dim_ = int(meta["padded_dim"])
+    codebooks = np.asarray(codebooks, dtype=np.float32)
+    if codebooks.ndim != 3 or codebooks.shape[0] != quantizer.num_subspaces:
+        raise SnapshotIntegrityError(
+            f"PQ codebooks have shape {codebooks.shape}, expected "
+            f"({quantizer.num_subspaces}, K, dsub)"
+        )
+    quantizer.codebooks_ = codebooks
+    return quantizer
+
+
+def export_index_state(index) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Extract the persistable state of a built index.
+
+    Only :class:`~repro.serving.quant.ivfpq.IVFPQIndex` carries expensive
+    trained state (coarse k-means + residual PQ); the cheap-to-build kinds
+    rebuild from the snapshot tables in negligible time.
+    """
+    from repro.serving.quant.ivfpq import IVFPQIndex
+
+    if not isinstance(index, IVFPQIndex):
+        raise SnapshotError(
+            f"index kind {getattr(index, 'name', type(index).__name__)!r} has no "
+            f"persistable payload (only 'ivfpq' indexes need one)"
+        )
+    return index.export_state()
+
+
+def restore_index_state(meta: dict, arrays: Mapping[str, np.ndarray], *,
+                        int8_table=None, params: Optional[Mapping] = None):
+    from repro.serving.quant.ivfpq import IVFPQIndex
+
+    if meta.get("name") != "ivfpq":
+        raise SnapshotIntegrityError(
+            f"unsupported persisted index payload {meta.get('name')!r}"
+        )
+    return IVFPQIndex.from_state(meta, arrays, int8_table=int8_table,
+                                 params=params)
+
+
+# Re-exported so integrators only need one import site.
+__all__ = [
+    "DurableRef",
+    "DurableSnapshot",
+    "WriteReport",
+    "abandon_snapshot",
+    "export_index_state",
+    "latest_version",
+    "list_versions",
+    "open_snapshot",
+    "restore_index_state",
+    "shard_tables_from_manifest",
+    "write_snapshot",
+]
