@@ -224,7 +224,8 @@ class ServingGateway(SnapshotListener):
 
         params = {
             key: value for key, value in self.index_params.items()
-            if key in ("num_probes", "refine", "refine_factor", "num_lists")
+            if key in ("num_probes", "refine", "refine_factor", "num_lists",
+                       "shrink_margin")
         }
         try:
             return durable.load_index(
@@ -271,13 +272,24 @@ class ServingGateway(SnapshotListener):
         worker pool.  ``spans`` (when the batch carries traced requests)
         receives a ``score`` span covering the scan.
         """
+        index = self._index_for(snapshot)
         if spans is None:
-            return self._index_for(snapshot).search(query_matrix, k)
-        started = self._clock()
-        result = self._index_for(snapshot).search(query_matrix, k)
-        spans.add("score", started, self._clock(),
-                  queries=query_matrix.shape[0], k=k)
+            result = index.search(query_matrix, k)
+        else:
+            started = self._clock()
+            result = index.search(query_matrix, k)
+            spans.add("score", started, self._clock(),
+                      queries=query_matrix.shape[0], k=k)
+        self._drain_shortlist_stats(index)
         return result
+
+    def _drain_shortlist_stats(self, index: RetrievalIndex) -> None:
+        """Move a quantized index's shortlist-shrink counters to telemetry."""
+        take = getattr(index, "take_shortlist_stats", None)
+        if take is not None:
+            candidates, kept = take()
+            if candidates:
+                self.telemetry.record_shortlist(candidates, kept)
 
     async def _search_backend_async(self, snapshot, query_matrix: np.ndarray,
                                     k: int, spans: Optional[BatchSpans] = None
@@ -610,13 +622,16 @@ def deploy_gateway(model=None, index: str = "ivf", index_params: Optional[dict] 
                    quantization_params: Optional[dict] = None,
                    workers: str = "auto", warm_start: Optional[str] = None,
                    durable_dir: Optional[str] = None,
+                   keep_last: Optional[int] = None,
                    **gateway_kwargs) -> ServingGateway:
     """Export a trained model's embeddings behind a full serving gateway.
 
-    ``quantization`` kinds (``"int8"`` / ``"pq"``) are published with every
-    snapshot so compressed service tables hot-swap with the fp arrays, with
-    per-kind options in ``quantization_params``; pick ``index="ivfpq"`` /
-    ``"int8"`` to also *search* through quantized codes.
+    ``quantization`` kinds (``"int8"`` / ``"pq"`` / ``"opq"``) are published
+    with every snapshot so compressed service tables hot-swap with the fp
+    arrays, with per-kind options in ``quantization_params``; pick
+    ``index="ivfpq"`` / ``"int8"`` to also *search* through quantized codes
+    (``index_params={"rotation": "opq"}`` trains the IVF-PQ residual
+    codebooks through the learned OPQ rotation).
 
     With ``num_shards > 1`` the one-call deployment becomes the sharded
     tier: a :class:`~repro.serving.sharded.ShardedGateway` runs one
@@ -631,7 +646,9 @@ def deploy_gateway(model=None, index: str = "ivf", index_params: Optional[dict] 
     corrupt or missing snapshot raises the snapshot layer's typed error; if
     ``model`` is also given, the gateway warns and falls back to the
     in-memory rebuild instead.  ``durable_dir`` makes a model-built store
-    publish durably from its first version.
+    publish durably from its first version; ``keep_last=N`` bounds the
+    on-disk retention to the newest ``N`` versions (plus whatever the
+    manifest pointer references) by pruning after every activate.
 
     Either tier exposes the asyncio-native front-end: ``await
     gateway.search_async(query_id)`` from any event loop, with admission
@@ -660,6 +677,7 @@ def deploy_gateway(model=None, index: str = "ivf", index_params: Optional[dict] 
         store = VersionedEmbeddingStore.from_model(
             model, num_shards=num_shards, quantization=quantization,
             quantization_params=quantization_params, durable_dir=durable_dir,
+            keep_last=keep_last,
         )
     elif num_shards not in (1, store.num_shards):
         raise ValueError(

@@ -101,8 +101,8 @@ def _freeze(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
 class EmbeddingSnapshot:
     """One immutable published version of the embedding tables.
 
-    ``quantized`` maps a quantizer kind (``"int8"`` / ``"pq"``) to the
-    compressed service table built from exactly this version's ``services``
+    ``quantized`` maps a quantizer kind (``"int8"`` / ``"pq"`` / ``"opq"``)
+    to the compressed service table built from exactly this version's ``services``
     matrix — row-aligned with it, so shard ranges and service ids carry
     over unchanged.
     """
@@ -185,8 +185,16 @@ class VersionedEmbeddingStore:
 
     ``dtype`` sets the fp snapshot precision (default ``float32``).
     ``quantization`` names the compressed service tables to publish with
-    every snapshot (any of ``"int8"`` / ``"pq"``), with per-kind parameters
-    in ``quantization_params`` (e.g. ``{"pq": {"num_subspaces": 8}}``).
+    every snapshot (any of ``"int8"`` / ``"pq"`` / ``"opq"``), with
+    per-kind parameters in ``quantization_params`` (e.g. ``{"opq":
+    {"num_subspaces": 8}}``).  Published int8 tables freeze the global
+    query-quantization step from the snapshot's query table, so the
+    end-to-end integer scoring path ranks bit-identically on every replica.
+
+    ``keep_last=N`` (with a ``durable_dir``) bounds on-disk retention:
+    after each durable publish activates, :func:`~repro.serving.snapshot.
+    prune` garbage-collects manifests and chunks beyond the newest ``N``
+    versions.
     """
 
     def __init__(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray,
@@ -196,9 +204,12 @@ class VersionedEmbeddingStore:
                  quantization_params: Optional[Mapping[str, Mapping]] = None,
                  clock: Callable[[], float] = time.monotonic,
                  durable_dir: Optional[str] = None,
-                 durable_rows_per_chunk: Optional[int] = None) -> None:
+                 durable_rows_per_chunk: Optional[int] = None,
+                 keep_last: Optional[int] = None) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be None or >= 1")
         self.num_shards = num_shards
         self.dtype = np.dtype(dtype)
         if not np.issubdtype(self.dtype, np.floating):
@@ -223,6 +234,7 @@ class VersionedEmbeddingStore:
         self._listeners: List[SnapshotListener] = []
         self.durable_dir = durable_dir
         self.durable_rows_per_chunk = durable_rows_per_chunk
+        self.keep_last = keep_last
         initial = self._make_snapshot(query_embeddings, service_embeddings, version)
         if durable_dir is not None:
             initial, _ = self._persist(initial, durable_dir, flip=True)
@@ -263,11 +275,15 @@ class VersionedEmbeddingStore:
             raise ValueError("query and service embeddings must share the same dimensionality")
         shards = min(self.num_shards, max(1, services.shape[0]))
         bounds = tuple(int(b) for b in np.linspace(0, services.shape[0], shards + 1).round())
-        quantized = {
-            kind: quantize_table(kind, services,
-                                 **self.quantization_params.get(kind, {}))
-            for kind in self.quantization
-        }
+        quantized = {}
+        for kind in self.quantization:
+            params = dict(self.quantization_params.get(kind, {}))
+            if kind == "int8":
+                # Freeze the global query-quantization step into the table:
+                # every replica hydrating this version then scores the
+                # integer path with the same step (bit-identical ranking).
+                params.setdefault("queries", queries)
+            quantized[kind] = quantize_table(kind, services, **params)
         return EmbeddingSnapshot(
             version=version,
             published_at=self._clock(),
@@ -299,6 +315,7 @@ class VersionedEmbeddingStore:
                 "quantization": list(self.quantization),
                 "quantization_params": self.quantization_params,
                 "rows_per_chunk": self.durable_rows_per_chunk,
+                "keep_last": self.keep_last,
             },
         )
         ref = snapshot_io.DurableRef(
@@ -340,6 +357,14 @@ class VersionedEmbeddingStore:
             snapshot_io.flip_pointer(durable_root, report.manifest_rel)
         for listener in self._listeners:
             listener.activate(replacement)
+        if durable_root is not None and self.keep_last is not None:
+            # Retention: with every durable publish activated, garbage-
+            # collect manifests (and now-unreferenced chunks) beyond the
+            # newest ``keep_last`` versions.  Runs after the activates so a
+            # listener hydrating mid-flip never races a deleted chunk.
+            from repro.serving import snapshot as snapshot_io
+
+            snapshot_io.prune(durable_root, keep_versions=self.keep_last)
         return replacement.version
 
     def publish(self, query_embeddings: np.ndarray, service_embeddings: np.ndarray,
@@ -483,6 +508,8 @@ class VersionedEmbeddingStore:
         store._listeners = []
         store.durable_dir = str(durable_dir)
         store.durable_rows_per_chunk = meta.get("rows_per_chunk")
+        keep_last = meta.get("keep_last")
+        store.keep_last = int(keep_last) if keep_last is not None else None
         store._current = durable.to_snapshot(published_at=clock())
         return store
 
@@ -493,10 +520,12 @@ class VersionedEmbeddingStore:
                    quantization_params: Optional[Mapping[str, Mapping]] = None,
                    clock: Callable[[], float] = time.monotonic,
                    durable_dir: Optional[str] = None,
-                   durable_rows_per_chunk: Optional[int] = None) -> "VersionedEmbeddingStore":
+                   durable_rows_per_chunk: Optional[int] = None,
+                   keep_last: Optional[int] = None) -> "VersionedEmbeddingStore":
         return cls(model.query_embeddings(), model.service_embeddings(),
                    num_shards=num_shards, version=version, dtype=dtype,
                    quantization=quantization,
                    quantization_params=quantization_params, clock=clock,
                    durable_dir=durable_dir,
-                   durable_rows_per_chunk=durable_rows_per_chunk)
+                   durable_rows_per_chunk=durable_rows_per_chunk,
+                   keep_last=keep_last)

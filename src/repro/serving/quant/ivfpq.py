@@ -42,8 +42,15 @@ import numpy as np
 
 from repro.serving.gateway.index import RetrievalIndex
 from repro.serving.quant.kmeans import kmeans
+from repro.serving.quant.opq import OPQQuantizer
 from repro.serving.quant.pq import ProductQuantizer
 from repro.serving.quant.scalar import Int8Table, quantize_int8
+
+#: Default adaptive-shortlist margin (see ``IVFPQIndex(shrink_margin=...)``).
+#: Calibrated on the bench workload: the relative margin an eventually-top-k
+#: candidate sits below the ADC kth score reaches ~4.1 at the tail, so 4.0
+#: trims only candidates far outside anything the refinement ever promotes.
+DEFAULT_SHRINK_MARGIN = 4.0
 
 
 class Int8Index(RetrievalIndex):
@@ -53,15 +60,23 @@ class Int8Index(RetrievalIndex):
     codes (the store publishes one per snapshot, see
     :class:`~repro.serving.gateway.store.VersionedEmbeddingStore`) share it
     instead of re-quantizing — the gateway wires this up automatically.
+
+    ``scoring="int"`` (the default) quantizes the folded query to int8 too
+    and scores in integer arithmetic (:meth:`Int8Table.scores_int`);
+    ``scoring="float"`` keeps the float-folded matmul of earlier releases.
     """
 
     name = "int8"
 
     def __init__(self, chunk: int = 8192,
-                 int8_table: Optional[Int8Table] = None) -> None:
+                 int8_table: Optional[Int8Table] = None,
+                 scoring: str = "int") -> None:
         if chunk <= 0:
             raise ValueError("chunk must be positive")
+        if scoring not in ("int", "float"):
+            raise ValueError("scoring must be 'int' or 'float'")
         self.chunk = chunk
+        self.scoring = scoring
         self._prebuilt = int8_table
         self._table: Optional[Int8Table] = None
 
@@ -102,7 +117,10 @@ class Int8Index(RetrievalIndex):
         if self._table is None:
             raise RuntimeError("index not built")
         queries = self._check_queries(queries, k)
-        scores = self._table.scores(queries, chunk=self.chunk)
+        if self.scoring == "int":
+            scores = self._table.scores_int(queries, chunk=self.chunk)
+        else:
+            scores = self._table.scores(queries, chunk=self.chunk)
         all_ids = np.arange(self._table.num_vectors, dtype=np.int64)
         return self._batched_top_k(all_ids, scores, k)
 
@@ -122,6 +140,13 @@ class IVFPQIndex(RetrievalIndex):
     blurs.  ``refine=None`` disables the stage (and the int8 table's
     memory).  ``int8_table`` shares an already-quantized copy (the store
     publishes one per snapshot) instead of re-quantizing at build.
+
+    ``rotation="opq"`` trains the residual codebooks through an OPQ learned
+    rotation (:class:`~repro.serving.quant.opq.OPQQuantizer`, ``opq_iters``
+    alternation rounds) — same scan loop, better codes.  ``shrink_margin``
+    adaptively narrows the refinement shortlist per batch: candidates whose
+    ADC score falls more than ``margin * (best - kth)`` below the k-th best
+    are dropped before the int8 re-score (``None`` disables the shrink).
     """
 
     name = "ivfpq"
@@ -131,7 +156,9 @@ class IVFPQIndex(RetrievalIndex):
                  kmeans_iters: int = 8, pq_kmeans_iters: int = 10,
                  refine: Optional[str] = "int8", refine_factor: int = 8,
                  slack: float = 1.3, int8_table: Optional[Int8Table] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, rotation: Optional[str] = None,
+                 opq_iters: int = 4,
+                 shrink_margin: Optional[float] = DEFAULT_SHRINK_MARGIN) -> None:
         if num_lists is not None and num_lists <= 0:
             raise ValueError("num_lists must be positive")
         if num_probes is not None and num_probes <= 0:
@@ -142,6 +169,12 @@ class IVFPQIndex(RetrievalIndex):
             raise ValueError("refine_factor must be positive")
         if slack < 1.0:
             raise ValueError("slack must be >= 1")
+        if rotation not in (None, "opq"):
+            raise ValueError("rotation must be None or 'opq'")
+        if opq_iters < 0:
+            raise ValueError("opq_iters must be >= 0")
+        if shrink_margin is not None and shrink_margin < 0:
+            raise ValueError("shrink_margin must be None or >= 0")
         self.num_lists = num_lists
         self.num_probes = num_probes
         self.num_subspaces = num_subspaces
@@ -151,8 +184,13 @@ class IVFPQIndex(RetrievalIndex):
         self.refine = refine
         self.refine_factor = refine_factor
         self.slack = slack
+        self.rotation = rotation
+        self.opq_iters = opq_iters
+        self.shrink_margin = shrink_margin
         self._prebuilt_int8 = int8_table
         self.seed = seed
+        self._shortlist_candidates = 0
+        self._shortlist_kept = 0
         self._pq: Optional[ProductQuantizer] = None
         self._refine_table: Optional[Int8Table] = None
         self._centroids: Optional[np.ndarray] = None     # (cells, dim) float32
@@ -188,10 +226,19 @@ class IVFPQIndex(RetrievalIndex):
             if np.any(members):
                 centroids[cell] = services[members].mean(axis=0)
         residuals = services - centroids[assignment]
-        pq = ProductQuantizer(
-            num_subspaces=self.num_subspaces, num_centroids=self.num_centroids,
-            kmeans_iters=self.pq_kmeans_iters, seed=self.seed,
-        ).fit(residuals)
+        if self.rotation == "opq":
+            pq: ProductQuantizer = OPQQuantizer(
+                num_subspaces=self.num_subspaces,
+                num_centroids=self.num_centroids,
+                kmeans_iters=self.pq_kmeans_iters, seed=self.seed,
+                opq_iters=self.opq_iters,
+            ).fit(residuals)
+        else:
+            pq = ProductQuantizer(
+                num_subspaces=self.num_subspaces,
+                num_centroids=self.num_centroids,
+                kmeans_iters=self.pq_kmeans_iters, seed=self.seed,
+            ).fit(residuals)
         codes = pq.encode(residuals)
 
         # Slot-major layout: cell c owns slots [c * size, (c + 1) * size);
@@ -311,6 +358,8 @@ class IVFPQIndex(RetrievalIndex):
             "slack": float(self.slack),
             "dim": int(self._pq.dim_),
             "padded_dim": int(self._pq.padded_dim_),
+            "rotation": self.rotation,
+            "opq_iters": int(self.opq_iters),
         }
         arrays = {
             "centroids": self._centroids,
@@ -318,6 +367,8 @@ class IVFPQIndex(RetrievalIndex):
             "slot_codes": self._slot_codes,
             "codebooks": self._pq.codebooks_,
         }
+        if self.rotation == "opq":
+            arrays["rotation"] = self._pq.rotation_
         return meta, arrays
 
     @classmethod
@@ -334,6 +385,7 @@ class IVFPQIndex(RetrievalIndex):
         """
         params = dict(params or {})
         refine = params.pop("refine", meta.get("refine"))
+        rotation = meta.get("rotation")
         index = cls(
             num_lists=None,
             num_probes=params.pop("num_probes", None),
@@ -346,6 +398,9 @@ class IVFPQIndex(RetrievalIndex):
             slack=float(meta.get("slack", 1.3)),
             int8_table=int8_table,
             seed=int(meta.get("seed", 0)),
+            rotation=rotation,
+            opq_iters=int(meta.get("opq_iters", 4)),
+            shrink_margin=params.pop("shrink_margin", DEFAULT_SHRINK_MARGIN),
         )
         params.pop("num_lists", None)  # layout is fixed by the persisted slots
         if params:
@@ -371,12 +426,37 @@ class IVFPQIndex(RetrievalIndex):
                 f"slot_codes={slot_codes.shape}, codebooks={codebooks.shape}"
             )
 
-        pq = ProductQuantizer(
-            num_subspaces=num_subspaces,
-            num_centroids=int(meta["num_centroids"]),
-            kmeans_iters=int(meta.get("pq_kmeans_iters", 10)),
-            seed=int(meta.get("seed", 0)),
-        )
+        if rotation == "opq":
+            rotation_matrix = arrays.get("rotation")
+            if rotation_matrix is None:
+                raise ValueError(
+                    "persisted index used rotation='opq' but no rotation "
+                    "array was stored"
+                )
+            rotation_matrix = np.ascontiguousarray(
+                rotation_matrix, dtype=np.float32
+            )
+            padded_dim = int(meta["padded_dim"])
+            if rotation_matrix.shape != (padded_dim, padded_dim):
+                raise ValueError(
+                    f"rotation matrix shape {rotation_matrix.shape} does not "
+                    f"match padded dim {padded_dim}"
+                )
+            pq: ProductQuantizer = OPQQuantizer(
+                num_subspaces=num_subspaces,
+                num_centroids=int(meta["num_centroids"]),
+                kmeans_iters=int(meta.get("pq_kmeans_iters", 10)),
+                seed=int(meta.get("seed", 0)),
+                opq_iters=int(meta.get("opq_iters", 4)),
+            )
+            pq.rotation_ = rotation_matrix
+        else:
+            pq = ProductQuantizer(
+                num_subspaces=num_subspaces,
+                num_centroids=int(meta["num_centroids"]),
+                kmeans_iters=int(meta.get("pq_kmeans_iters", 10)),
+                seed=int(meta.get("seed", 0)),
+            )
         pq.dim_ = int(meta["dim"])
         pq.padded_dim_ = int(meta["padded_dim"])
         pq.codebooks_ = codebooks
@@ -439,6 +519,9 @@ class IVFPQIndex(RetrievalIndex):
             probed = np.argpartition(-affinity, probes - 1, axis=1)[:, :probes]
         else:
             probed = np.tile(np.arange(cells), (batch, 1))
+        # Cell-sorted probes: ascending cell ids turn the block gather below
+        # into forward memory sweeps over the slot-major code layout.
+        probed.sort(axis=1)
 
         # Balanced cells make the candidate block rectangular: cell c owns
         # slot block [c * size, (c + 1) * size), so indexing the 3-D code
@@ -453,9 +536,12 @@ class IVFPQIndex(RetrievalIndex):
             tables_flat.ravel().take(gather_pos).reshape(batch, probes * size, -1)
             @ self._sum_ones
         )
-        # Coarse term q.centroid, identical across a probed cell's slots.
+        # Coarse term q.centroid, identical across a probed cell's slots —
+        # added as a broadcast over the (batch, probes, size) view instead
+        # of materializing a repeated (batch, probes * size) copy.
         probed_dots = np.take_along_axis(q_dot_c, probed, axis=1)
-        scores += np.repeat(probed_dots, size, axis=1)
+        scores_by_cell = scores.reshape(batch, probes, size)
+        scores_by_cell += probed_dots[:, :, None]
 
         refining = self._refine_table is not None
         shortlist_size = k * self.refine_factor if refining else k
@@ -465,6 +551,11 @@ class IVFPQIndex(RetrievalIndex):
                                    axis=1)[:, :shortlist_size]
         else:
             keep = np.tile(np.arange(width, dtype=np.int64), (batch, 1))
+        before = keep.shape[1]
+        if refining and self.shrink_margin is not None and before > k:
+            keep = self._shrink_shortlist(scores, keep, k)
+        self._shortlist_candidates += batch * before
+        self._shortlist_kept += batch * keep.shape[1]
         # Map kept columns back to slots (cheap: shortlist-sized only).
         short_cells = np.take_along_axis(probed, keep // size, axis=1)
         short_ids = self._slot_ids[short_cells * size + keep % size]
@@ -474,13 +565,60 @@ class IVFPQIndex(RetrievalIndex):
             short_scores = np.take_along_axis(scores, keep, axis=1)
         return _batched_rank(short_ids, short_scores, k)
 
+    def take_shortlist_stats(self) -> Tuple[int, int]:
+        """``(candidates, kept)`` shortlist counts since the last call.
+
+        ``candidates`` is the refinement work the static ``refine_factor *
+        k`` shortlist would have cost; ``kept`` is what the adaptive shrink
+        actually re-scored.  The gateway drains this into its telemetry.
+        """
+        stats = (self._shortlist_candidates, self._shortlist_kept)
+        self._shortlist_candidates = 0
+        self._shortlist_kept = 0
+        return stats
+
+    def _shrink_shortlist(self, scores: np.ndarray, keep: np.ndarray,
+                          k: int) -> np.ndarray:
+        """Adaptively narrow the shortlist on the per-query ADC margin.
+
+        With ``best`` and ``kth`` the best and k-th best ADC scores inside a
+        query's shortlist, candidates below ``kth - margin * (best - kth)``
+        are very unlikely to be re-ranked into the top k by the int8
+        refinement, so they are dropped before the expensive gather.  The
+        batch stays rectangular: every query keeps the batch-max kept count
+        (fill slots just carry extra below-cutoff candidates).
+        """
+        short = np.take_along_axis(scores, keep, axis=1)
+        full = short.shape[1]
+        kth = -np.partition(-short, k - 1, axis=1)[:, k - 1]
+        best = short.max(axis=1)
+        cutoff = kth - np.float32(self.shrink_margin) * (best - kth)
+        kept_counts = (short >= cutoff[:, None]).sum(axis=1)
+        target = max(k, int(kept_counts.max(initial=0)))
+        if target >= full:
+            return keep
+        narrowed = np.argpartition(-short, target - 1, axis=1)[:, :target]
+        return np.take_along_axis(keep, narrowed, axis=1)
+
     def _refine_shortlist(self, queries: np.ndarray,
                           short_ids: np.ndarray) -> np.ndarray:
-        """Re-score the ADC shortlist against the int8 table (IVFADC+R)."""
+        """Re-score the ADC shortlist against the int8 table (IVFADC+R).
+
+        The re-score is integer end-to-end: the folded query is quantized
+        to int8 (:meth:`Int8Table.quantize_queries`), so candidate scores
+        are exact integer dot products scaled back once — identical
+        arithmetic to :meth:`Int8Table.scores_int`, and deterministic
+        across replicas when the table carries a published ``query_scale``.
+        """
         refine = self._refine_table
-        scaled_queries = queries * refine.scales  # fold int8 scales once
         codes = refine.codes[np.maximum(short_ids, 0)].astype(np.float32)
-        rescored = np.matmul(codes, scaled_queries[:, :, None])[:, :, 0]
+        if refine.dim * 127 * 127 < 2 ** 24:
+            q8, qscale = refine.quantize_queries(queries)
+            rescored = np.matmul(codes, q8[:, :, None])[:, :, 0]
+            rescored *= qscale[:, None]
+        else:  # pragma: no cover - only reachable past dim 1040
+            scaled_queries = queries * refine.scales
+            rescored = np.matmul(codes, scaled_queries[:, :, None])[:, :, 0]
         rescored[short_ids < 0] = -np.inf
         return rescored
 
@@ -522,6 +660,12 @@ def _balanced_assign(points: np.ndarray, centroids: np.ndarray,
 def _batched_rank(ids: np.ndarray, scores: np.ndarray, k: int
                   ) -> Tuple[np.ndarray, np.ndarray]:
     """Final sorted top-k with ``(-1, -inf)`` padding, batched over rows."""
+    if scores.shape[1] > 4 * k:
+        # Pre-select ~4k columns by partition before the full sort: the
+        # sort then runs on a 4k-wide block instead of the whole shortlist.
+        part = np.argpartition(-scores, 4 * k - 1, axis=1)[:, :4 * k]
+        ids = np.take_along_axis(ids, part, axis=1)
+        scores = np.take_along_axis(scores, part, axis=1)
     order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
     top_ids = np.take_along_axis(ids, order, axis=1).astype(np.int64)
     top_scores = np.take_along_axis(scores, order, axis=1).astype(np.float64)

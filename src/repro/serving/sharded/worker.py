@@ -82,6 +82,7 @@ class ShardWorker:
         lo: int,
         int8_table=None,
         pq_table=None,
+        opq_table=None,
     ) -> None:
         """Build ``version``'s index from this shard's rows; serve it on demand.
 
@@ -104,6 +105,8 @@ class ShardWorker:
             tables["int8"] = int8_table
         if pq_table is not None:
             tables["pq"] = pq_table
+        if opq_table is not None:
+            tables["opq"] = opq_table
         entry = ShardVersion(
             version=version,
             lo=int(lo),
@@ -123,6 +126,7 @@ class ShardWorker:
         hi_bound = snapshot.shard_bounds[self.shard + 1]
         int8_table = quantized.get("int8")
         pq_table = quantized.get("pq")
+        opq_table = quantized.get("opq")
         self.prepare(
             snapshot.version,
             services,
@@ -132,6 +136,9 @@ class ShardWorker:
             ),
             pq_table=(
                 pq_table.rows(lo_bound, hi_bound) if pq_table is not None else None
+            ),
+            opq_table=(
+                opq_table.rows(lo_bound, hi_bound) if opq_table is not None else None
             ),
         )
 

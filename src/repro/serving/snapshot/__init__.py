@@ -6,8 +6,10 @@ and an atomically-flipped ``MANIFEST`` pointer
 (:mod:`~repro.serving.snapshot.manifest`);
 :mod:`~repro.serving.snapshot.codec` maps
 :class:`~repro.serving.gateway.store.EmbeddingSnapshot` — fp tables, int8
-scales/codes, PQ codebooks/codes, and trained index payloads — onto that
-container.  ``write_snapshot`` publishes a delta (only chunks absent from
+scales/codes (and the frozen integer-scoring query scale), PQ/OPQ
+codebooks/codes, the learned OPQ rotation, and trained index payloads —
+onto that container (kinds registered in
+:data:`~repro.serving.snapshot.format.SECTION_ARRAYS`).  ``write_snapshot`` publishes a delta (only chunks absent from
 the store hit disk); ``open_snapshot`` mmaps everything read-only so a
 replica warm-starts without re-quantizing or re-training anything.
 """
@@ -27,6 +29,7 @@ from repro.serving.snapshot.codec import (
 from repro.serving.snapshot.format import (
     CHECKSUM_ALGO,
     FORMAT_VERSION,
+    SECTION_ARRAYS,
     ChunkRef,
     SnapshotError,
     SnapshotIntegrityError,
@@ -51,6 +54,7 @@ __all__ = [
     "DurableSnapshot",
     "FORMAT_VERSION",
     "POINTER_NAME",
+    "SECTION_ARRAYS",
     "SnapshotError",
     "SnapshotIntegrityError",
     "SnapshotNotFoundError",

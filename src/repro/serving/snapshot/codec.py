@@ -2,7 +2,8 @@
 
 :func:`write_snapshot` lowers one
 :class:`~repro.serving.gateway.store.EmbeddingSnapshot` into sectioned,
-content-addressed chunks (fp tables, int8 scales/codes, PQ codebooks/codes)
+content-addressed chunks (fp tables, int8 scales/codes plus the frozen
+query-quantization step, PQ/OPQ codebooks/codes, the learned OPQ rotation)
 plus a self-checksummed manifest; :func:`open_snapshot` mmaps those chunks
 read-only and rebuilds the snapshot — including its quantized tables —
 without re-fitting a single quantizer, which is the whole warm-start win.
@@ -29,6 +30,7 @@ import numpy as np
 
 from repro.serving.snapshot.format import (
     CHECKSUM_ALGO,
+    SECTION_ARRAYS,
     ChunkRef,
     SnapshotError,
     SnapshotIntegrityError,
@@ -128,8 +130,25 @@ class DurableRef:
                                    params=params)
 
 
+def _pq_meta(pq) -> dict:
+    return {
+        "num_subspaces": int(pq.num_subspaces),
+        "num_centroids": int(pq.num_centroids),
+        "kmeans_iters": int(pq.kmeans_iters),
+        "seed": int(pq.seed),
+        "init": str(pq.init),
+        "dim": int(pq.dim_),
+        "padded_dim": int(pq.padded_dim_),
+    }
+
+
 def _section_arrays(snapshot) -> Dict[str, Tuple[dict, Dict[str, np.ndarray]]]:
-    """Decompose a snapshot into ``{section: (meta, {name: array})}``."""
+    """Decompose a snapshot into ``{section: (meta, {name: array})}``.
+
+    Every array here becomes a content-addressed chunk; the known
+    section/array kinds are registered in
+    :data:`~repro.serving.snapshot.format.SECTION_ARRAYS`.
+    """
     sections: Dict[str, Tuple[dict, Dict[str, np.ndarray]]] = {
         "fp": (
             {"dtype": np.asarray(snapshot.services).dtype.str},
@@ -139,20 +158,33 @@ def _section_arrays(snapshot) -> Dict[str, Tuple[dict, Dict[str, np.ndarray]]]:
     }
     for kind, table in snapshot.quantized.items():
         if kind == "int8":
-            sections["int8"] = ({}, {"codes": table.codes, "scales": table.scales})
+            arrays = {"codes": table.codes, "scales": table.scales}
+            if table.query_scale is not None:
+                # The frozen query-quantization step rides as its own tiny
+                # chunk so every replica scores the integer path with the
+                # exact same step (bit-identical ranking).
+                arrays["query_scale"] = np.asarray(
+                    [table.query_scale], dtype=np.float32
+                )
+            sections["int8"] = ({}, arrays)
         elif kind == "pq":
             pq = table.quantizer
             sections["pq"] = (
-                {
-                    "num_subspaces": int(pq.num_subspaces),
-                    "num_centroids": int(pq.num_centroids),
-                    "kmeans_iters": int(pq.kmeans_iters),
-                    "seed": int(pq.seed),
-                    "init": str(pq.init),
-                    "dim": int(pq.dim_),
-                    "padded_dim": int(pq.padded_dim_),
-                },
+                _pq_meta(pq),
                 {"codes": table.codes, "codebooks": pq.codebooks_},
+            )
+        elif kind == "opq":
+            pq = table.quantizer
+            meta = _pq_meta(pq)
+            meta["opq_iters"] = int(pq.opq_iters)
+            meta["opq_init"] = str(pq.opq_init)
+            sections["opq"] = (
+                meta,
+                {
+                    "codes": table.codes,
+                    "codebooks": pq.codebooks_,
+                    "rotation": pq.rotation_,
+                },
             )
         else:  # pragma: no cover - future quantizer kinds
             raise SnapshotError(f"no snapshot codec for quantized table kind {kind!r}")
@@ -172,6 +204,12 @@ def write_snapshot(snapshot, root, *, rows_per_chunk: Optional[int] = None,
     chunks_written = chunks_shared = bytes_written = 0
     sections = {}
     for name, (meta, arrays) in _section_arrays(snapshot).items():
+        registered = SECTION_ARRAYS.get(name)
+        if registered is None or any(a not in registered for a in arrays):
+            raise SnapshotError(
+                f"section {name!r} with arrays {sorted(arrays)} is not in "
+                f"the chunk-kind registry (snapshot.format.SECTION_ARRAYS)"
+            )
         refs_by_array = {}
         for array_name, array in arrays.items():
             per_chunk = rows_per_chunk if array.ndim >= 2 else None
@@ -264,15 +302,28 @@ class DurableSnapshot:
     def array(self, section: str, name: str) -> np.ndarray:
         return open_array(self.root, self._refs(section, name), verify=self.verify)
 
+    def _query_scale(self):
+        """The published int8 query-quantization step, or ``None``."""
+        try:
+            refs = self._refs("int8", "query_scale")
+        except SnapshotIntegrityError:
+            return None
+        return float(open_array(self.root, refs, verify=self.verify)[0])
+
     def int8_table(self):
         """The version's :class:`~repro.serving.quant.scalar.Int8Table`,
-        served straight off the mmapped chunks (or ``None``)."""
+        served straight off the mmapped chunks (or ``None``).
+
+        The published ``query_scale`` chunk (when the store froze one) rides
+        along, so the integer scoring path of a warm-started replica ranks
+        bit-identically to the store that trained the table."""
         if not self.has_section("int8"):
             return None
         from repro.serving.quant.scalar import Int8Table
 
         return Int8Table(codes=self.array("int8", "codes"),
-                         scales=self.array("int8", "scales"))
+                         scales=self.array("int8", "scales"),
+                         query_scale=self._query_scale())
 
     def pq_table(self):
         """The version's :class:`~repro.serving.quant.pq.PQTable`, with the
@@ -285,6 +336,19 @@ class DurableSnapshot:
         quantizer = _rebuild_pq(meta, self.array("pq", "codebooks"))
         return PQTable(codes=self.array("pq", "codes"), quantizer=quantizer)
 
+    def opq_table(self):
+        """The version's :class:`~repro.serving.quant.opq.OPQTable`, with
+        codebooks *and* the learned rotation mmapped — no alternating
+        minimization is ever re-run on a warm start (or ``None``)."""
+        if not self.has_section("opq"):
+            return None
+        from repro.serving.quant.opq import OPQTable
+
+        meta = self._section_meta("opq")
+        quantizer = _rebuild_pq(meta, self.array("opq", "codebooks"),
+                                rotation=self.array("opq", "rotation"))
+        return OPQTable(codes=self.array("opq", "codes"), quantizer=quantizer)
+
     def to_snapshot(self, *, published_at: float):
         """Rebuild the full in-memory snapshot over mmapped arrays."""
         from repro.serving.gateway.store import EmbeddingSnapshot
@@ -296,6 +360,9 @@ class DurableSnapshot:
         pq = self.pq_table()
         if pq is not None:
             quantized["pq"] = pq
+        opq = self.opq_table()
+        if opq is not None:
+            quantized["opq"] = opq
         return EmbeddingSnapshot(
             version=self.version,
             published_at=published_at,
@@ -324,6 +391,7 @@ class DurableSnapshot:
                 codes=read_rows(self.root, self._refs("int8", "codes"), lo, hi,
                                 verify=self.verify),
                 scales=self.array("int8", "scales"),
+                query_scale=self._query_scale(),
             )
         return services, int8
 
@@ -360,16 +428,26 @@ def shard_tables_from_manifest(root, rel: str, lo: int, hi: int, *,
 # ---------------------------------------------------------------------- #
 # Index payloads
 # ---------------------------------------------------------------------- #
-def _rebuild_pq(meta: dict, codebooks: np.ndarray):
+def _rebuild_pq(meta: dict, codebooks: np.ndarray,
+                rotation: Optional[np.ndarray] = None):
+    from repro.serving.quant.opq import OPQQuantizer
     from repro.serving.quant.pq import ProductQuantizer
 
-    quantizer = ProductQuantizer(
+    common = dict(
         num_subspaces=int(meta["num_subspaces"]),
         num_centroids=int(meta["num_centroids"]),
         kmeans_iters=int(meta.get("kmeans_iters", 10)),
         seed=int(meta.get("seed", 0)),
         init=str(meta.get("init", "kmeans++")),
     )
+    if rotation is None:
+        quantizer = ProductQuantizer(**common)
+    else:
+        quantizer = OPQQuantizer(
+            **common,
+            opq_iters=int(meta.get("opq_iters", 4)),
+            opq_init=str(meta.get("opq_init", "eigen")),
+        )
     quantizer.dim_ = int(meta["dim"])
     quantizer.padded_dim_ = int(meta["padded_dim"])
     codebooks = np.asarray(codebooks, dtype=np.float32)
@@ -379,6 +457,15 @@ def _rebuild_pq(meta: dict, codebooks: np.ndarray):
             f"({quantizer.num_subspaces}, K, dsub)"
         )
     quantizer.codebooks_ = codebooks
+    if rotation is not None:
+        rotation = np.asarray(rotation, dtype=np.float32)
+        pdim = quantizer.padded_dim_
+        if rotation.shape != (pdim, pdim):
+            raise SnapshotIntegrityError(
+                f"OPQ rotation has shape {rotation.shape}, expected "
+                f"({pdim}, {pdim})"
+            )
+        quantizer.rotation_ = rotation
     return quantizer
 
 

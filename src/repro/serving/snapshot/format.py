@@ -62,6 +62,27 @@ _HEADER_CRC_OFFSET = HEADER_SIZE - 14  # start of the header-crc field
 CHUNK_DIR = "chunks"
 CHUNK_SUFFIX = ".chunk"
 
+#: Registry of known snapshot chunk kinds: ``section -> array names`` a
+#: version manifest may reference.  The codec validates every section it
+#: writes against this table so an unregistered kind fails loudly at
+#: publish time instead of producing manifests old readers half-understand.
+#:
+#: * ``fp``    — the full-precision query/service tables;
+#: * ``int8``  — symmetric int8 codes + per-dimension scales, plus the
+#:   optional frozen ``query_scale`` step (a 1-element float32 chunk) that
+#:   makes the end-to-end integer scoring path bit-identical on every
+#:   replica that hydrates the version;
+#: * ``pq``    — product-quantization byte codes + sub-space codebooks;
+#: * ``opq``   — OPQ: PQ codes/codebooks trained under a learned
+#:   orthonormal rotation, persisted alongside them so no replica ever
+#:   re-runs the alternating minimization.
+SECTION_ARRAYS = {
+    "fp": ("queries", "services"),
+    "int8": ("codes", "scales", "query_scale"),
+    "pq": ("codes", "codebooks"),
+    "opq": ("codes", "codebooks", "rotation"),
+}
+
 
 class SnapshotError(RuntimeError):
     """Base class for durable-snapshot failures."""

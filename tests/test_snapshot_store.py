@@ -183,7 +183,10 @@ class TestSnapshotRoundTrip:
         v0 = open_snapshot(root, version=0).manifest
         for section in ("fp", "int8", "pq"):
             for name, refs in manifest["sections"][section]["arrays"].items():
-                if (section, name) == ("fp", "queries"):
+                if (section, name) in (("fp", "queries"),
+                                       ("int8", "query_scale")):
+                    # The query table changed, and the frozen integer-path
+                    # query scale is derived from it.
                     assert refs != v0["sections"][section]["arrays"][name]
                 else:
                     assert refs == v0["sections"][section]["arrays"][name]
