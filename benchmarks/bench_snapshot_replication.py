@@ -1,0 +1,196 @@
+"""Benchmark: cold vs delta wire replication and hydrate-parity recall.
+
+PR 8's content-addressed chunk store made *local* republish a delta
+write; the replication transport (:mod:`repro.serving.snapshot.transport`)
+extends the same economics across hosts.  This bench stands up a
+:class:`~repro.serving.snapshot.SnapshotServer` over a quantized source
+store and measures, at the quantized-bench catalogue scale:
+
+* **cold fetch** — hydrating a completely empty durable dir from the peer
+  (every chunk crosses the wire);
+* **re-fetch** — an already-hydrated host fetching again (must transfer
+  zero chunks and zero bytes);
+* **delta fetch** — after a small republish on the source (query table
+  shift only), the follow-up fetch moves only the changed chunks.
+
+Deterministic gates ride along the wall-clock numbers:
+
+* a re-fetch transfers **nothing** (content addressing, not heuristics);
+* delta-fetch bytes stay **under 50%** of the cold-fetch bytes after the
+  small republish;
+* the hydrated host's int8 recall@10 **equals** the source store's
+  recall@10 over the same probe set (bit-identical tables ⇒ identical
+  quality — replication must not cost a single rank).
+
+Results are persisted to ``benchmarks/results/snapshot_replication.json``.
+Runnable standalone with the uniform bench flags::
+
+    python -m benchmarks.bench_snapshot_replication [--smoke] [--seed N] [--out P]
+
+``--smoke`` is the CI gate: reduced catalogue, same gates.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.bench_args import RESULTS_DIR, parse_bench_args, require, write_json
+from benchmarks.serving_load import make_workload
+from repro.eval.reporting import format_float_table
+from repro.eval.serving_metrics import recall_at_k
+from repro.serving.gateway import ExactIndex, VersionedEmbeddingStore
+from repro.serving.snapshot import SnapshotFetcher, SnapshotServer
+
+FULL = dict(num_queries=2_000, num_services=12_000, dim=48,
+            num_requests=1, top_k=10, num_probe=512)
+SMOKE = dict(num_queries=500, num_services=4_000, dim=48,
+             num_requests=1, top_k=10, num_probe=256)
+
+QUANTIZATION = ("int8", "pq")
+QUANT_PARAMS = {"pq": {"num_subspaces": 8}}
+NUM_SHARDS = 4
+DELTA_BYTES_CEILING = 0.5  # delta fetch < 50% of cold fetch
+
+
+def _int8_recall(store, probe, exact_ids, top_k):
+    top = np.argsort(-store.snapshot().quantized["int8"].scores(probe),
+                     axis=1)[:, :top_k]
+    return recall_at_k(top, exact_ids, top_k)
+
+
+def run_replication_bench(params=None, seed=0):
+    """Time cold/re/delta fetches over a live server; verify parity gates."""
+    params = params or FULL
+    queries, services, _ = make_workload(params, seed)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        src = Path(scratch) / "src"
+        dst = Path(scratch) / "dst"
+        src.mkdir()
+        dst.mkdir()
+        store = VersionedEmbeddingStore(
+            queries, services, num_shards=NUM_SHARDS,
+            quantization=QUANTIZATION, quantization_params=QUANT_PARAMS,
+            durable_dir=str(src),
+        )
+
+        with SnapshotServer(src) as server:
+            started = time.perf_counter()
+            cold = SnapshotFetcher(server.address, dst).fetch()
+            cold_fetch_s = time.perf_counter() - started
+
+            started = time.perf_counter()
+            refetch = SnapshotFetcher(server.address, dst).fetch()
+            refetch_s = time.perf_counter() - started
+
+            # Small republish: only the query table shifts, so only the
+            # query chunks should cross the wire on the delta fetch.
+            store.publish(queries + 0.25, services)
+            started = time.perf_counter()
+            delta = SnapshotFetcher(server.address, dst).fetch()
+            delta_fetch_s = time.perf_counter() - started
+
+        # Hydrate parity: the replica must score exactly like the source.
+        probe = queries[: params["num_probe"]].astype(np.float32)
+        exact_ids, _ = ExactIndex().build(
+            store.snapshot().services).search(probe, params["top_k"])
+        source_recall = _int8_recall(store, probe, exact_ids, params["top_k"])
+        hydrated = VersionedEmbeddingStore.restore(str(dst))
+        hydrated_recall = _int8_recall(hydrated, probe, exact_ids,
+                                       params["top_k"])
+
+        rows = [
+            {"phase": "cold_fetch", "seconds": cold_fetch_s,
+             "mbytes": cold.bytes_fetched / 2 ** 20,
+             "chunks": cold.chunks_fetched},
+            {"phase": "refetch", "seconds": refetch_s,
+             "mbytes": refetch.bytes_fetched / 2 ** 20,
+             "chunks": refetch.chunks_fetched},
+            {"phase": "delta_fetch", "seconds": delta_fetch_s,
+             "mbytes": delta.bytes_fetched / 2 ** 20,
+             "chunks": delta.chunks_fetched},
+        ]
+        gates = {
+            "cold_bytes": cold.bytes_fetched,
+            "refetch_chunks": refetch.chunks_fetched,
+            "refetch_bytes": refetch.bytes_fetched,
+            "delta_bytes": delta.bytes_fetched,
+            "delta_over_cold_bytes": delta.bytes_fetched / cold.bytes_fetched,
+            "hydrated_version": hydrated.version,
+            "source_version": store.version,
+            "recall_source": source_recall,
+            "recall_hydrated": hydrated_recall,
+        }
+        return rows, gates
+
+
+def check_gates(gates):
+    require(gates["refetch_chunks"] == 0 and gates["refetch_bytes"] == 0,
+            f"an already-hydrated host re-transferred "
+            f"{gates['refetch_chunks']} chunks "
+            f"({gates['refetch_bytes']} bytes)")
+    require(gates["delta_over_cold_bytes"] < DELTA_BYTES_CEILING,
+            f"delta fetch moved {gates['delta_over_cold_bytes']:.2%} of the "
+            f"cold-fetch bytes, ceiling is {DELTA_BYTES_CEILING:.0%}")
+    require(gates["hydrated_version"] == gates["source_version"],
+            f"hydrated host serves v{gates['hydrated_version']}, source is "
+            f"at v{gates['source_version']}")
+    require(gates["recall_hydrated"] == gates["recall_source"],
+            f"hydrated recall {gates['recall_hydrated']:.4f} != source "
+            f"recall {gates['recall_source']:.4f}")
+
+
+def build_payload(params, rows, gates, seed, smoke):
+    return {
+        "workload": dict(params, quantization=list(QUANTIZATION),
+                         num_shards=NUM_SHARDS),
+        "seed": seed,
+        "smoke": smoke,
+        "results": rows,
+        "gates": gates,
+        "delta_over_cold_bytes": gates["delta_over_cold_bytes"],
+    }
+
+
+def test_snapshot_replication(benchmark):
+    rows, gates = benchmark.pedantic(run_replication_bench, rounds=1,
+                                     iterations=1)
+    print("\n" + format_float_table(
+        rows, title=f"Snapshot replication: {FULL['num_services']} services, "
+                    f"dim {FULL['dim']}, int8+pq, delta/cold bytes "
+                    f"{gates['delta_over_cold_bytes']:.2%}"
+    ))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = build_payload(FULL, rows, gates, seed=0, smoke=False)
+    (RESULTS_DIR / "snapshot_replication.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    assert gates["refetch_chunks"] == 0
+    assert gates["delta_over_cold_bytes"] < DELTA_BYTES_CEILING
+    assert gates["recall_hydrated"] == gates["recall_source"]
+
+
+def main(argv=None):
+    args = parse_bench_args("snapshot_replication", __doc__, argv)
+    params = SMOKE if args.smoke else FULL
+    rows, gates = run_replication_bench(params, seed=args.seed)
+    label = "smoke" if args.smoke else "full"
+    print(format_float_table(
+        rows, title=f"Snapshot replication ({label}): "
+                    f"{params['num_services']} services, dim {params['dim']}, "
+                    f"int8+pq, delta/cold bytes "
+                    f"{gates['delta_over_cold_bytes']:.2%}"
+    ))
+    print(f"gates: {json.dumps(gates, indent=2)}")
+    write_json(args.out, build_payload(params, rows, gates,
+                                       seed=args.seed, smoke=args.smoke))
+    print(f"wrote {args.out}")
+    check_gates(gates)
+    print("bench gates passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -594,6 +594,39 @@ def main() -> None:
           "re-quantization at boot.  benchmarks/bench_quantized_serving.py "
           "gates the OPQ recall and integer-path QPS wins at 12k services.")
 
+    print("\n14) Wire replication: an empty-disk replica boots from a peer\n")
+    # Every durable trick so far assumed the host already owned the disk.
+    # A brand-new host joining the fleet has *nothing* — no chunks, no
+    # manifest, no pointer.  A SnapshotServer on any healthy host serves
+    # its durable dir over a framed socket protocol, and deploy_gateway
+    # pulls it down (manifest first, then only the chunks absent locally,
+    # each checksum-verified before it lands) before the usual mmap boot.
+    from repro.serving.snapshot import SnapshotFetcher, SnapshotServer
+
+    empty_dir = tempfile.mkdtemp(prefix="garcia-newhost-")
+    with SnapshotServer(opq_dir) as server:
+        newcomer = deploy_gateway(warm_start=empty_dir, index="ivfpq",
+                                  remote_peer=server.address, top_k=top_k,
+                                  max_batch_size=batch_size, cache_capacity=0)
+        hydrated = [newcomer.rank(query_id, top_k) for query_id in probe_ids]
+        assert hydrated == after_refresh, "wire hydration must be bit-identical"
+        newcomer.close()
+
+        # Content addressing makes the second fetch a no-op: every chunk
+        # the live manifest references already landed, so nothing moves.
+        refetch = SnapshotFetcher(server.address, empty_dir).fetch()
+        assert refetch.chunks_fetched == 0 and refetch.bytes_fetched == 0
+    print(f"A host with an empty durable dir booted bit-identically from "
+          f"the peer — trained IVF-PQ sidecar included — and a re-fetch "
+          f"moved {refetch.bytes_fetched} bytes ({refetch.chunks_already_local} "
+          "chunks already local).  A fetch killed mid-stream resumes without "
+          "re-transferring landed chunks, and the server pins the version it "
+          "is streaming so keep_last pruning can never delete it mid-fetch: "
+          "tests/test_snapshot_replication.py drills the full fault matrix, "
+          "and benchmarks/bench_snapshot_replication.py gates the delta "
+          "economics (< 50% of cold-fetch bytes) plus hydrate-parity recall "
+          "in CI.")
+
 
 if __name__ == "__main__":
     main()

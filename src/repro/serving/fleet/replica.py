@@ -131,7 +131,8 @@ class FleetReplica:
             raise ValueError("slow factor must be >= 1.0")
         self._slow_factor = float(factor)
 
-    def revive(self, warm_start: Optional[str] = None) -> int:
+    def revive(self, warm_start: Optional[str] = None,
+               remote_peer: Optional[Tuple[str, int]] = None) -> int:
         """Clear every fault (process restarted, host recovered).
 
         ``warm_start`` additionally re-hydrates the replica's store from an
@@ -142,12 +143,20 @@ class FleetReplica:
         replica's gateway rebuilds or restores its index before any request
         can observe the revived version.  Returns the store version the
         replica is serving after revival.
+
+        ``remote_peer=(host, port)`` first replicates the peer
+        :class:`~repro.serving.snapshot.SnapshotServer`'s live snapshot
+        into ``warm_start`` over the wire — a revived host whose local
+        directory was lost (or never existed) catches up from a healthy
+        peer instead of a disk it no longer has.
         """
         self._dead = False
         self._stalled_until = 0.0
         self._slow_factor = 1.0
+        if remote_peer is not None and warm_start is None:
+            raise ValueError("remote_peer needs a warm_start directory to hydrate into")
         if warm_start is not None:
-            return self.gateway.store.hydrate(warm_start)
+            return self.gateway.store.hydrate(warm_start, remote=remote_peer)
         return self.gateway.store.version
 
     @property

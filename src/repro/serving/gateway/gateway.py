@@ -623,6 +623,7 @@ def deploy_gateway(model=None, index: str = "ivf", index_params: Optional[dict] 
                    workers: str = "auto", warm_start: Optional[str] = None,
                    durable_dir: Optional[str] = None,
                    keep_last: Optional[int] = None,
+                   remote_peer: Optional[Tuple[str, int]] = None,
                    **gateway_kwargs) -> ServingGateway:
     """Export a trained model's embeddings behind a full serving gateway.
 
@@ -645,10 +646,16 @@ def deploy_gateway(model=None, index: str = "ivf", index_params: Optional[dict] 
     codebook training — and the shard layout comes from the manifest.  A
     corrupt or missing snapshot raises the snapshot layer's typed error; if
     ``model`` is also given, the gateway warns and falls back to the
-    in-memory rebuild instead.  ``durable_dir`` makes a model-built store
-    publish durably from its first version; ``keep_last=N`` bounds the
-    on-disk retention to the newest ``N`` versions (plus whatever the
-    manifest pointer references) by pruning after every activate.
+    in-memory rebuild instead.  ``remote_peer=(host, port)`` points at a
+    peer :class:`~repro.serving.snapshot.SnapshotServer`: the peer's live
+    snapshot is replicated into ``warm_start`` over the wire *before* the
+    restore, so a brand-new host with an **empty** directory boots
+    bit-identical to the source fleet (failed replication falls back the
+    same way a damaged local snapshot does).  ``durable_dir`` makes a
+    model-built store publish durably from its first version;
+    ``keep_last=N`` bounds the on-disk retention to the newest ``N``
+    versions (plus whatever the manifest pointer references) by pruning
+    after every activate.
 
     Either tier exposes the asyncio-native front-end: ``await
     gateway.search_async(query_id)`` from any event loop, with admission
@@ -656,12 +663,14 @@ def deploy_gateway(model=None, index: str = "ivf", index_params: Optional[dict] 
     ``gateway_kwargs`` (``max_queue`` / ``overload`` /
     ``default_deadline_s`` / ``cpu_executor`` / ``loop_confined``).
     """
+    if remote_peer is not None and warm_start is None:
+        raise ValueError("remote_peer needs a warm_start directory to hydrate into")
     store = None
     if warm_start is not None:
         from repro.serving.snapshot import SnapshotError
 
         try:
-            store = VersionedEmbeddingStore.restore(warm_start)
+            store = VersionedEmbeddingStore.restore(warm_start, remote=remote_peer)
         except SnapshotError as error:
             if model is None:
                 raise

@@ -399,7 +399,8 @@ class VersionedEmbeddingStore:
                 replacement, report = self._persist(replacement, root, flip=False)
             return self._swap_in(replacement, root, report)
 
-    def hydrate(self, durable_dir: Optional[str] = None, verify: bool = True) -> int:
+    def hydrate(self, durable_dir: Optional[str] = None, verify: bool = True,
+                remote: Optional[Tuple[str, int]] = None) -> int:
         """Adopt the newest on-disk version when it is newer than ours.
 
         The disk snapshot is mmapped (zero copy, no re-quantization) and
@@ -407,12 +408,22 @@ class VersionedEmbeddingStore:
         replica that was dead through a publish calls this on revive to
         catch up from the manifest instead of the wire.  Returns the
         current version either way.
+
+        ``remote`` is a ``(host, port)`` of a peer
+        :class:`~repro.serving.snapshot.SnapshotServer`: the peer's live
+        version is pulled into the durable directory first (resumable,
+        chunk-verified, delta-economic — see
+        :mod:`repro.serving.snapshot.transport`), then adopted through the
+        same flip.  A host whose directory is *empty* hydrates entirely
+        over the wire, bit-identical to the source.
         """
         root = durable_dir if durable_dir is not None else self.durable_dir
         if root is None:
             raise ValueError("hydrate needs a durable_dir (none configured)")
         from repro.serving import snapshot as snapshot_io
 
+        if remote is not None:
+            snapshot_io.fetch_snapshot(remote, root)
         durable = snapshot_io.open_snapshot(root, verify=verify)
         with self._lock:
             if durable.version <= self._current.version:
@@ -475,7 +486,8 @@ class VersionedEmbeddingStore:
     @classmethod
     def restore(cls, durable_dir: str, version: Optional[int] = None,
                 verify: bool = True,
-                clock: Callable[[], float] = time.monotonic) -> "VersionedEmbeddingStore":
+                clock: Callable[[], float] = time.monotonic,
+                remote: Optional[Tuple[str, int]] = None) -> "VersionedEmbeddingStore":
         """Warm-start a store from an on-disk snapshot directory.
 
         The fp tables, int8 codes/scales, and PQ codes/codebooks are served
@@ -486,12 +498,20 @@ class VersionedEmbeddingStore:
         :class:`~repro.serving.snapshot.SnapshotError`; callers that hold
         the raw embeddings fall back to an in-memory rebuild.
 
+        ``remote`` pulls the peer's snapshot into ``durable_dir`` over the
+        wire before opening it (see
+        :mod:`repro.serving.snapshot.transport`), which is how a host with
+        *no local snapshot at all* boots: an empty directory plus a peer
+        address restores to a bit-identical store.
+
         The restored store keeps ``durable_dir`` configured, so subsequent
         publishes continue the on-disk version history (delta-writing only
         changed chunks).
         """
         from repro.serving import snapshot as snapshot_io
 
+        if remote is not None:
+            snapshot_io.fetch_snapshot(remote, durable_dir, version=version)
         durable = snapshot_io.open_snapshot(durable_dir, version=version,
                                             verify=verify)
         meta = durable.meta

@@ -43,8 +43,21 @@ from repro.serving.snapshot.manifest import (
     flip_pointer,
     list_versions,
     load_manifest,
+    pin_version,
+    pinned_versions,
     prune,
     read_pointer,
+    unpin_version,
+)
+from repro.serving.snapshot.transport import (
+    FetchReport,
+    ReplicationError,
+    ReplicationIntegrityError,
+    ReplicationProtocolError,
+    ReplicationUnavailableError,
+    SnapshotFetcher,
+    SnapshotServer,
+    fetch_snapshot,
 )
 
 __all__ = [
@@ -53,25 +66,36 @@ __all__ = [
     "DurableRef",
     "DurableSnapshot",
     "FORMAT_VERSION",
+    "FetchReport",
     "POINTER_NAME",
+    "ReplicationError",
+    "ReplicationIntegrityError",
+    "ReplicationProtocolError",
+    "ReplicationUnavailableError",
     "SECTION_ARRAYS",
     "SnapshotError",
+    "SnapshotFetcher",
     "SnapshotIntegrityError",
     "SnapshotNotFoundError",
+    "SnapshotServer",
     "WriteReport",
     "abandon_snapshot",
     "content_id",
     "export_index_state",
+    "fetch_snapshot",
     "flip_pointer",
     "latest_version",
     "list_versions",
     "load_manifest",
     "open_chunk",
     "open_snapshot",
+    "pin_version",
+    "pinned_versions",
     "prune",
     "read_pointer",
     "restore_index_state",
     "shard_tables_from_manifest",
+    "unpin_version",
     "write_chunk",
     "write_snapshot",
 ]

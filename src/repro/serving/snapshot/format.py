@@ -291,6 +291,19 @@ def _view_chunk(
     return array.reshape(shape)
 
 
+def verify_chunk_bytes(raw: bytes, ref: ChunkRef, *, source: str = "<wire>") -> np.ndarray:
+    """Validate one chunk held fully in memory against its manifest ref.
+
+    Runs the exact header/checksum/cross-check pipeline :func:`open_chunk`
+    applies to an mmapped file, but over a byte string — this is what the
+    replication fetcher uses to verify a chunk *as it arrives off the
+    wire*, before the bytes are allowed to land in the local chunk store.
+    Returns the decoded array view; raises :class:`SnapshotIntegrityError`
+    on any damage (truncation, bit flip, header/manifest disagreement).
+    """
+    return _view_chunk(raw, ref, Path(source), verify=True)
+
+
 def write_array_chunks(
     root: Path, array: np.ndarray, *, rows_per_chunk: Optional[int] = None
 ) -> Tuple[list, int, int]:

@@ -22,9 +22,11 @@ which is exactly the recovery contract the crash-safety tests exercise.
 from __future__ import annotations
 
 import json
+import threading
 import zlib
+from collections import Counter
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.serving.snapshot.format import (
     CHUNK_DIR,
@@ -60,6 +62,26 @@ def write_manifest(root: Path, manifest: dict, rel: str) -> str:
     return rel
 
 
+def decode_manifest(raw: bytes, source: str = "<bytes>") -> dict:
+    """Decode and integrity-check one manifest envelope held in memory.
+
+    This is the byte-level half of :func:`load_manifest`, split out so the
+    replication fetcher can validate a manifest *as it arrives off the
+    wire* — before anything touches the local directory.
+    """
+    try:
+        envelope = json.loads(raw)
+        manifest = envelope["manifest"]
+        expected = int(envelope["crc32"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SnapshotIntegrityError(f"manifest {source} is not valid JSON") from exc
+    if zlib.crc32(_canonical(manifest)) != expected:
+        raise SnapshotIntegrityError(f"manifest {source} failed its checksum")
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise SnapshotIntegrityError(f"manifest {source} has unknown format")
+    return manifest
+
+
 def load_manifest(root: Path, rel: str) -> dict:
     """Load and integrity-check the manifest at ``<root>/<rel>``."""
     path = Path(root) / rel
@@ -67,17 +89,7 @@ def load_manifest(root: Path, rel: str) -> dict:
         raw = path.read_bytes()
     except FileNotFoundError as exc:
         raise SnapshotNotFoundError(f"no manifest at {path}") from exc
-    try:
-        envelope = json.loads(raw)
-        manifest = envelope["manifest"]
-        expected = int(envelope["crc32"])
-    except (ValueError, KeyError, TypeError) as exc:
-        raise SnapshotIntegrityError(f"manifest {path} is not valid JSON") from exc
-    if zlib.crc32(_canonical(manifest)) != expected:
-        raise SnapshotIntegrityError(f"manifest {path} failed its checksum")
-    if manifest.get("format") != MANIFEST_FORMAT:
-        raise SnapshotIntegrityError(f"manifest {path} has unknown format")
-    return manifest
+    return decode_manifest(raw, source=str(path))
 
 
 def flip_pointer(root: Path, rel: str) -> None:
@@ -121,6 +133,51 @@ def delete_manifest(root: Path, rel: str) -> None:
         pass
 
 
+# --------------------------------------------------------------------- #
+# Version pins: refcounts that shield a manifest from prune
+# --------------------------------------------------------------------- #
+# A fetcher hydrating over the wire reads one manifest and then its chunks
+# over many round trips; a concurrent publish with ``keep_last`` retention
+# must not garbage-collect that version out from under the stream.  The
+# registry is process-global (the server and the publishing store share a
+# process in this tier) and keyed by the resolved directory, so every
+# publisher pruning a directory sees the pins of every server serving it.
+_PINS_LOCK = threading.Lock()
+_PINS: Dict[str, Counter] = {}
+
+
+def _pin_key(root: Path) -> str:
+    return str(Path(root).resolve())
+
+
+def pin_version(root: Path, version: int) -> None:
+    """Take one refcount on ``version``: prune keeps its manifest, sidecars
+    and every chunk they reference until the matching :func:`unpin_version`."""
+    with _PINS_LOCK:
+        _PINS.setdefault(_pin_key(root), Counter())[int(version)] += 1
+
+
+def unpin_version(root: Path, version: int) -> None:
+    """Release one refcount taken by :func:`pin_version` (idempotent past 0)."""
+    with _PINS_LOCK:
+        pins = _PINS.get(_pin_key(root))
+        if pins is None:
+            return
+        version = int(version)
+        if pins[version] > 0:
+            pins[version] -= 1
+        if pins[version] <= 0:
+            del pins[version]
+        if not pins:
+            _PINS.pop(_pin_key(root), None)
+
+
+def pinned_versions(root: Path) -> Set[int]:
+    """Versions currently pinned under ``root`` (refcount > 0)."""
+    with _PINS_LOCK:
+        return set(_PINS.get(_pin_key(root), ()))
+
+
 def _referenced_chunks(manifest: dict) -> set:
     chunk_ids = set()
     for section in manifest.get("sections", {}).values():
@@ -136,6 +193,11 @@ def prune(root: Path, keep_versions: Optional[int] = 2) -> dict:
     Keeps the pointer target plus the ``keep_versions`` newest manifests
     (and their index sidecars); deletes everything else, then any chunk no
     kept manifest references.  Returns ``{"manifests": n, "chunks": n}``.
+
+    Versions pinned through :func:`pin_version` — a manifest currently
+    mid-stream to a replication fetcher — are kept regardless of their
+    age, along with every chunk they reference, so a long wire fetch
+    always survives a concurrent retention pass.
     """
     root = Path(root)
     try:
@@ -144,6 +206,7 @@ def prune(root: Path, keep_versions: Optional[int] = 2) -> dict:
         live_rel = None
     versions = list_versions(root)
     kept = set(versions[-keep_versions:]) if keep_versions else set(versions)
+    kept |= pinned_versions(root) & set(versions)
     removed_manifests = 0
     referenced = set()
     mdir = root / MANIFEST_DIR
